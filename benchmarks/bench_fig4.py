@@ -1,0 +1,56 @@
+"""Figure 4 — importance of integrating TEC with fan.
+
+Expected shape (Sec. V-B): the 2nd fan level alone violates the
+threshold for the hot workloads; adding the reactive TECs at the 2nd
+level restores close-to-level-1 cooling, at a total cooling power far
+below running the fan at level 1 (14.4 W vs 3.8 W + a few W of TEC).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.analysis.figures import (
+    figure4,
+    figure4_timeseries,
+    format_figure4,
+    format_figure4_timeseries,
+)
+
+
+def test_figure4(benchmark, system16, results_dir):
+    rows = benchmark.pedantic(
+        figure4, args=(system16,), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "figure4", format_figure4(rows))
+
+    hot_cases = [r for r in rows if r.peak_fan2_c > r.t_threshold_c + 0.5]
+    assert hot_cases, "expected at least one case where fan level 2 violates"
+    for r in hot_cases:
+        # (b): TECs recover most of the fan deficit.
+        deficit = r.peak_fan2_c - r.t_threshold_c
+        recovered = r.peak_fan2_c - r.peak_fantec2_c
+        assert recovered > 0.5 * deficit, (r.workload, deficit, recovered)
+        # (c): total cooling power at level 2 + TEC stays below level 1.
+        assert r.fan2_power_w + r.tec_power_w < r.fan1_power_w, r.workload
+
+
+def test_figure4_timeseries(benchmark, system16, results_dir):
+    series = benchmark.pedantic(
+        figure4_timeseries,
+        args=(system16, "cholesky", 16),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        results_dir, "figure4_timeseries",
+        format_figure4_timeseries(series),
+    )
+    # (a): fan level 1 holds the threshold; level 2 violates repeatedly.
+    assert series.fan1_peak_c.max() <= series.t_threshold_c + 1e-9
+    violations_l2 = (series.fan2_peak_c > series.t_threshold_c + 0.5).sum()
+    assert violations_l2 >= 3
+    # (b): Fan+TEC at level 2 stays near the threshold (the paper allows
+    # a couple of excursions).
+    excursions = (series.fantec2_peak_c > series.t_threshold_c + 1.0).sum()
+    assert excursions <= max(2, len(series.time_ms) // 8)

@@ -1,0 +1,55 @@
+"""Figures 5 & 6 — cooling performance and energy efficiency.
+
+One full policy-suite run over the four 16-thread benchmarks feeds both
+figures (exactly as in the paper). Expected shape (Secs. V-C/V-D):
+
+* 5(a): TECfan's peak stays at/below the threshold in every case;
+* 5(b): TECfan's violation rate is the smallest (paper: < 0.5%);
+* 6(a): TECfan's delay is a few percent; Fan+DVFS is the slowest;
+* 6(c): every knob-using policy saves energy vs the base scenario;
+* 6(d): TECfan has the best (lowest) EDP; Fan+DVFS's EDP can exceed 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import save_and_print
+
+from repro.analysis.figures import (
+    figure6_averages,
+    format_figure5,
+    format_figure6,
+    splash_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(system16):
+    return splash_comparison(system16)
+
+
+def test_figures_5_and_6(benchmark, system16, results_dir):
+    comp = benchmark.pedantic(
+        splash_comparison, args=(system16,), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "figure5", format_figure5(comp))
+    save_and_print(results_dir, "figure6", format_figure6(comp))
+
+    avg = figure6_averages(comp)
+    # -- Fig. 6(a): delay ordering ------------------------------------
+    assert avg["TECfan"]["delay"] < 1.10
+    assert avg["Fan+DVFS"]["delay"] > 1.10
+    assert avg["TECfan"]["delay"] < avg["Fan+DVFS"]["delay"]
+    assert abs(avg["Fan+TEC"]["delay"] - 1.0) < 1e-6
+    # -- Fig. 6(c): energy savings ------------------------------------
+    assert avg["TECfan"]["energy"] < 0.95
+    assert avg["Fan+TEC"]["energy"] < 1.0
+    assert avg["Fan+DVFS"]["energy"] < 0.95
+    # -- Fig. 6(d): TECfan wins EDP -----------------------------------
+    for other in ("Fan+TEC", "Fan+DVFS", "DVFS+TEC", "Fan-only"):
+        assert avg["TECfan"]["edp"] <= avg[other]["edp"] + 1e-9, other
+
+    # -- Fig. 5(b): TECfan has the fewest violations -------------------
+    for (case, outcomes) in comp.outcomes.items():
+        tecfan_v = outcomes["TECfan"].chosen.metrics.violation_rate
+        assert tecfan_v <= 0.005 + 1e-9, case

@@ -1,0 +1,42 @@
+"""Figure 7 — TECfan vs OFTEC vs Oracle vs Oracle-P on the 4-core server.
+
+Expected shape (Sec. V-E): TECfan and Oracle consume far less energy
+than OFTEC (paper: ~29% for TECfan) because they adapt DVFS to the
+demand-limited Wikipedia workload; TECfan does so without degrading
+performance; Oracle may trade a little delay for the lowest energy; and
+Oracle-P (performance-matched Oracle) lands approximately at TECfan.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import save_and_print
+
+from repro.analysis.figures import format_figure7
+from repro.analysis.server_experiment import run_server_comparison
+
+#: Trace minutes per piece (paper: 10). Override for quick local runs.
+MINUTES = int(os.environ.get("TECFAN_FIG7_MINUTES", "10"))
+
+
+def test_figure7(benchmark, results_dir):
+    comparison = benchmark.pedantic(
+        run_server_comparison,
+        kwargs={"minutes": MINUTES},
+        rounds=1,
+        iterations=1,
+    )
+    norm = comparison.normalized_to_oftec()
+    save_and_print(results_dir, "figure7", format_figure7(norm))
+
+    # TECfan saves substantially vs OFTEC without losing performance.
+    assert norm["TECfan"]["energy"] < 0.85
+    assert norm["TECfan"]["delay"] < 1.01
+    # Oracle is at least as good on energy; within a small delay budget.
+    assert norm["Oracle"]["energy"] <= norm["TECfan"]["energy"] + 0.01
+    assert norm["Oracle"]["delay"] < 1.05
+    # Oracle-P matches TECfan's operating point closely.
+    assert abs(norm["Oracle-P"]["energy"] - norm["TECfan"]["energy"]) < 0.05
+    assert norm["Oracle-P"]["delay"] <= norm["TECfan"]["delay"] + 0.01
+    benchmark.extra_info["minutes"] = MINUTES

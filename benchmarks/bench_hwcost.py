@@ -1,0 +1,47 @@
+"""Sec. III-E — hardware cost of the estimation datapath.
+
+The paper's numbers: a systolic array of M x K = 18 x 3 = 54 eight-bit
+fixed-point multipliers; one 16-bit multiplier is 0.057 mm^2 at 65 nm
+(0.03% of a 200 mm^2 die, ~0.03 W at POWER6-FPU power density); the full
+array adds "less than 1.7% extra area and power".
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.analysis.report import render_table
+from repro.core.hwcost import (
+    HardwareCostModel,
+    paper_single_multiplier_cost,
+)
+
+
+def test_hardware_cost(benchmark, results_dir):
+    model = benchmark.pedantic(
+        HardwareCostModel, rounds=1, iterations=1
+    )
+    single = paper_single_multiplier_cost()
+    summary = model.summary()
+    rows = [[k, v] for k, v in {**summary, **{
+        "single16_area_mm2": single["area_mm2"],
+        "single16_area_pct": single["area_overhead_pct"],
+        "single16_power_w": single["power_w"],
+    }}.items()]
+    save_and_print(
+        results_dir,
+        "hwcost",
+        render_table(
+            ["quantity", "value"], rows, floatfmt="{:.4f}",
+            title="Sec. III-E — estimation datapath cost",
+        ),
+    )
+
+    assert model.multipliers == 54  # M x K = 18 x 3
+    # Single 16-bit multiplier: the paper's 0.057 mm^2 / 0.03% / 0.03 W.
+    assert abs(single["area_mm2"] - 0.057) < 1e-9
+    assert abs(single["area_overhead_pct"] - 0.0285) < 1e-3
+    assert abs(single["power_w"] - 0.032) < 5e-3
+    # Full array: below the paper's "less than 1.7%" bound.
+    assert summary["area_overhead_pct"] < 1.7
+    assert summary["power_overhead_pct"] < 1.7

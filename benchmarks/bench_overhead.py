@@ -1,0 +1,116 @@
+"""Sec. V-A — decision-cost scaling: TECfan vs exhaustive search.
+
+The paper's complexities: TECfan is O(NL + N^2 M) (polynomial — at most
+NL TEC toggles plus N candidate evaluations per DVFS step), while
+exhaustive OFTEC is O(2^{NL}) and Oracle O(M^N 2^{NL}). We validate the
+*shape*: TECfan's measured evaluations per decision grow polynomially
+with the core count while the exhaustive spaces explode; and one TECfan
+decision is orders of magnitude cheaper than one Oracle decision on the
+same platform.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.analysis.report import render_table
+from repro.core.engine import EngineConfig, SimulationEngine
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import build_system
+from repro.core.tecfan import TECfanController
+from repro.perf.splash2 import splash2_workload
+from repro.perf.workload import Phase, Workload, WorkloadRun
+
+
+def _tecfan_cost(rows: int, cols: int) -> dict:
+    """Evaluations/decision for TECfan on an rows x cols chip."""
+    system = build_system(rows=rows, cols=cols)
+    n = system.n_cores
+    wl = Workload(
+        name="synthetic",
+        threads=n,
+        total_instructions=50_000_000 * n,
+        ff_instructions=0,
+        ipc_at_ref=0.6,
+        activity=0.9,
+        active_tiles=tuple(range(n)),
+        phases=(Phase(1.0),),
+    )
+    # Threshold tight enough to keep the controller busy.
+    state = ActuatorState.initial(
+        system.n_tec_devices, n, system.dvfs.max_level, 1
+    )
+    p = system.power.component_power.dynamic_power_w(
+        np.full(n, 0.9), state.dvfs, None
+    )
+    t_nodes, _ = system.plant_thermal.solve(p, 2, state.tec)
+    th = float(system.component_temps_c(t_nodes).max()) - 1.0
+    problem = EnergyProblem(t_threshold_c=th)
+    engine = SimulationEngine(
+        system, problem, EngineConfig(max_time_s=0.03, priming_intervals=0)
+    )
+    ctrl = TECfanController()
+    t0 = time.perf_counter()
+    res = engine.run(
+        WorkloadRun(wl, system.chip, 2.0),
+        ctrl,
+        initial_state=state.with_fan(2),
+    )
+    wall = time.perf_counter() - t0
+    decisions = max(len(res.trace), 1)
+    evals = res.estimator.n_evaluations
+    m = system.dvfs.n_levels
+    ell = system.tec.devices_per_tile
+    return {
+        "cores": n,
+        "evals_per_decision": evals / decisions,
+        "bound_NL_N2M": n * ell + n * n * m,
+        "oracle_space": (m**n) * (2.0 ** n) * system.fan.n_levels,
+        "wall_ms_per_decision": 1e3 * wall / decisions,
+    }
+
+
+def test_overhead_scaling(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: [_tecfan_cost(1, 2), _tecfan_cost(2, 2), _tecfan_cost(2, 4),
+                 _tecfan_cost(4, 4)],
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        [
+            r["cores"],
+            r["evals_per_decision"],
+            r["bound_NL_N2M"],
+            f"{r['oracle_space']:.1e}",
+            r["wall_ms_per_decision"],
+        ]
+        for r in rows
+    ]
+    save_and_print(
+        results_dir,
+        "overhead",
+        render_table(
+            ["N cores", "evals/decision", "NL+N^2M", "Oracle space",
+             "ms/decision"],
+            table,
+            floatfmt="{:.1f}",
+            title="Sec. V-A — TECfan decision cost vs exhaustive space",
+        ),
+    )
+    for r in rows:
+        # TECfan stays within its polynomial bound...
+        assert r["evals_per_decision"] <= r["bound_NL_N2M"], r
+    # ...while the exhaustive space grows by orders of magnitude.
+    assert rows[-1]["oracle_space"] / rows[0]["oracle_space"] > 1e9
+    # Polynomial vs exponential growth from 2 to 16 cores.
+    eval_growth = (
+        rows[-1]["evals_per_decision"]
+        / max(rows[0]["evals_per_decision"], 1.0)
+    )
+    space_growth = rows[-1]["oracle_space"] / rows[0]["oracle_space"]
+    assert eval_growth < 1e4 < space_growth

@@ -1,0 +1,25 @@
+"""Table I — regenerate the base-scenario measurements.
+
+Paper values (Table I): execution time, processor power and peak
+temperature for the eight SPLASH-2 cases. The calibrated models must
+land within tight tolerances (time is analytic, power/temperature come
+through the thermal-leakage loop and the activity noise).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.analysis.tables import format_table1, regenerate_table1
+
+
+def test_table1(benchmark, system16, results_dir):
+    comparisons = benchmark.pedantic(
+        regenerate_table1, args=(system16,), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table1", format_table1(comparisons))
+    for c in comparisons:
+        assert abs(c.time_error_pct) < 1.0, c.published
+        assert abs(c.power_error_w) < 1.5, c.published
+        assert abs(c.temp_error_c) < 1.5, c.published
+    benchmark.extra_info["rows"] = len(comparisons)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper experiment is wrapped in a pytest-benchmark case (one round
+— these are simulations, not micro-benchmarks) and its formatted output
+is both printed and written to ``benchmarks/results/*.txt`` so the
+regenerated tables/figures survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def system16():
+    """The calibrated 16-core platform (shared across benchmarks)."""
+    from repro.core.system import build_system
+
+    return build_system()
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one experiment's formatted output and echo it."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The Sec. V-E server experiment: TECfan vs OFTEC vs Oracle (Fig. 7).
+
+Synthesizes the scaled Wikipedia utilization trace (48.6% average), runs
+the four policies on the 4-core i7-class platform, and prints the
+normalized comparison. Oracle/Oracle-P perform vectorized exhaustive
+search over per-core TEC banks x DVFS levels x fan levels.
+
+Run:  python examples/server_oracle_comparison.py [minutes]
+      (default 10, the paper's piece length; use 2-3 for a quick look)
+"""
+
+import sys
+
+from repro.analysis.figures import format_figure7
+from repro.analysis.server_experiment import run_server_comparison
+
+
+def main() -> None:
+    minutes = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    print(
+        f"Running the 4-core server comparison on {minutes}-minute "
+        "Wikipedia trace pieces...\n"
+    )
+    comparison = run_server_comparison(minutes=minutes)
+    d = comparison.workload.demand
+    print(
+        f"trace: mean utilization {d.mean():.3f} "
+        f"(paper: 0.486), peak {d.max():.2f}"
+    )
+    print(f"threshold: {comparison.platform.t_threshold_c:.2f} degC\n")
+
+    for name, res in comparison.results.items():
+        tr = res.trace
+        print(
+            f"{name:9s}: mean DVFS level {tr.mean_dvfs_level.mean():.2f}, "
+            f"mean fan level {tr.fan_level.mean():.2f}, "
+            f"avg power {res.metrics.average_power_w:.1f} W"
+        )
+    print()
+    print(format_figure7(comparison.normalized_to_oftec()))
+    norm = comparison.normalized_to_oftec()
+    print(
+        f"\nTECfan consumes {100 * (1 - norm['TECfan']['energy']):.1f}% "
+        "less energy than OFTEC (paper: 29%) with no completion delay, "
+        "and lands within "
+        f"{100 * abs(norm['TECfan']['energy'] - norm['Oracle-P']['energy']):.1f}"
+        " percentage points of the performance-matched Oracle-P."
+    )
+
+
+if __name__ == "__main__":
+    main()

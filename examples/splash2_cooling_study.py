@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Cooling-policy study across the SPLASH-2 suite (Figs. 5 & 6).
+
+Runs Fan-only, Fan+TEC, Fan+DVFS, DVFS+TEC and TECfan on the four
+16-thread benchmarks, each at its paper-methodology fan level, and
+prints the peak-temperature / violation / delay / power / energy / EDP
+comparison — the full Sec. V-C / V-D evaluation.
+
+Run:  python examples/splash2_cooling_study.py        (~1 minute)
+"""
+
+from repro.analysis.figures import (
+    figure6_averages,
+    format_figure5,
+    format_figure6,
+    splash_comparison,
+)
+from repro.core.system import build_system
+
+
+def main() -> None:
+    system = build_system()
+    print("Running 5 policies x 4 benchmarks (fan levels per paper "
+          "methodology)...\n")
+    comp = splash_comparison(system)
+
+    print(format_figure5(comp))
+    print()
+    print(format_figure6(comp))
+
+    avg = figure6_averages(comp)
+    tecfan = avg["TECfan"]
+    print(
+        f"\nSummary: TECfan averages {100 * (1 - tecfan['energy']):.1f}% "
+        f"energy saving at {100 * (tecfan['delay'] - 1):.1f}% delay and "
+        f"the lowest EDP ({tecfan['edp']:.3f}x) of all policies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package,
+so ``pip install -e .`` must take the legacy ``setup.py develop`` path;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — a full reproduction of *TECfan: Coordinating Thermoelectric
+Cooler, Fan, and DVFS for CMP Energy Optimization* (IPDPS 2016).
+
+Subpackages
+-----------
+- :mod:`repro.floorplan` — chip geometry (SCC-style tile arrays)
+- :mod:`repro.thermal` — HotSpot-equivalent RC thermal network
+- :mod:`repro.cooling` — fan and thin-film TEC actuator models
+- :mod:`repro.power` — DVFS, dynamic and leakage power models
+- :mod:`repro.perf` — IPS models and calibrated SPLASH-2 workloads
+- :mod:`repro.server` — the 4-core Wikipedia-trace server setup (Sec. V-E)
+- :mod:`repro.core` — the TECfan heuristic, baselines, Oracle/OFTEC,
+  simulation engine and metrics
+- :mod:`repro.analysis` — Table I / Figs. 4-7 regeneration helpers
+
+Quickstart
+----------
+>>> from repro.core import build_system, EnergyProblem, SimulationEngine
+>>> from repro.core import TECfanController, EngineConfig, ActuatorState
+>>> from repro.perf import splash2_workload
+>>> from repro.perf.workload import WorkloadRun
+>>> system = build_system()
+>>> wl = splash2_workload("lu", 16, system.chip)
+>>> engine = SimulationEngine(system, EnergyProblem(t_threshold_c=85.0))
+>>> run = WorkloadRun(wl, system.chip, ref_freq_ghz=2.0)
+>>> result = engine.run(run, TECfanController())
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    ConfigurationError,
+    ControlError,
+    ConvergenceError,
+    FloorplanError,
+    ReproError,
+    ThermalModelError,
+    WorkloadError,
+)
+
+__all__ = [
+    "__version__",
+    "ConfigurationError",
+    "ControlError",
+    "ConvergenceError",
+    "FloorplanError",
+    "ReproError",
+    "ThermalModelError",
+    "WorkloadError",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are formatted with ``floatfmt``; everything else with
+    ``str``. Returns the table as one string (callers print it).
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_normalized(
+    label: str,
+    series: dict[str, dict[str, float]],
+    metrics: Sequence[str] = ("delay", "power", "energy", "edp"),
+) -> str:
+    """Render a {policy: {metric: value}} map (Figs. 6-7 style)."""
+    rows = [
+        [name] + [values.get(m, float("nan")) for m in metrics]
+        for name, values in series.items()
+    ]
+    return render_table(["policy", *metrics], rows, title=label)

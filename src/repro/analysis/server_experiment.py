@@ -1,0 +1,140 @@
+"""The Sec. V-E comparison: TECfan vs OFTEC vs Oracle vs Oracle-P (Fig. 7).
+
+Protocol (Sec. IV-B / V-E):
+
+* 4-core server platform (i7-3770K-class), Wikipedia trace scaled to a
+  48.6% average utilization;
+* the first 40 minutes of the trace are cut into four 10-minute pieces,
+  one per core; each simulation runs the full 10 minutes so the fan's
+  impact stabilizes;
+* OFTEC minimizes cooling power (no DVFS), Oracle minimizes EPI by
+  exhaustive search, Oracle-P is Oracle constrained to TECfan's exact
+  per-interval performance; results are normalized to OFTEC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, SimulationEngine, SimulationResult
+from repro.core.oracle import make_oftec, make_oracle
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.tecfan import TECfanController
+from repro.server.platform import ServerPlatform, build_server_system
+from repro.server.trace_workload import (
+    ServerIPSPredictor,
+    ServerTraceRun,
+    ServerWorkload,
+)
+from repro.server.wikipedia import generate_trace
+
+#: Lower-level control period for the server loop [s]. Second-scale is
+#: ample: the trace moves minute to minute and the die settles in ms.
+SERVER_DT_S: float = 1.0
+
+#: Higher-level (fan) period [s].
+SERVER_FAN_PERIOD_S: float = 10.0
+
+
+@dataclass
+class ServerComparison:
+    """All four policies' results plus the platform."""
+
+    platform: ServerPlatform
+    workload: ServerWorkload
+    results: dict[str, SimulationResult]
+
+    def normalized_to_oftec(self) -> dict[str, dict[str, float]]:
+        """Fig. 7's format: metrics normalized to OFTEC."""
+        base = self.results["OFTEC"].metrics
+        return {
+            name: res.metrics.normalized_to(base)
+            for name, res in self.results.items()
+        }
+
+
+def build_server_workload(
+    platform: ServerPlatform, seed: int = 2009, minutes: int = 10
+) -> ServerWorkload:
+    """The paper's trace protocol on the platform's core count."""
+    trace = generate_trace(seed=seed)
+    pieces = [p[: minutes * 60] for p in trace.experiment_pieces()]
+    demand = np.stack(pieces[: platform.system.n_cores])
+    return ServerWorkload(
+        name="wikipedia",
+        demand=demand,
+        peak_ips=platform.params.peak_ips,
+    )
+
+
+def _engine(platform: ServerPlatform, minutes: int) -> SimulationEngine:
+    problem = EnergyProblem(t_threshold_c=platform.t_threshold_c)
+    return SimulationEngine(
+        platform.system,
+        problem,
+        EngineConfig(
+            dt_lower_s=SERVER_DT_S,
+            fan_period_s=SERVER_FAN_PERIOD_S,
+            dynamic_fan=True,
+            max_time_s=minutes * 60 * 3.0,  # room for backlog drain
+            priming_intervals=5,
+        ),
+    )
+
+
+def _run(
+    platform: ServerPlatform,
+    workload: ServerWorkload,
+    controller,
+    minutes: int,
+) -> SimulationResult:
+    system = platform.system
+    engine = _engine(platform, minutes)
+    controller.reset()
+    state = ActuatorState.initial(
+        system.n_tec_devices,
+        system.n_cores,
+        system.dvfs.max_level,
+        fan_level=1,
+    )
+    run = ServerTraceRun(workload, system.chip, ref_freq_ghz=3.5)
+    predictor = ServerIPSPredictor(
+        dvfs=system.dvfs,
+        peak_ips=workload.peak_ips,
+        perf=workload.perf,
+    )
+    return engine.run(
+        run, controller, initial_state=state, ips_predictor=predictor
+    )
+
+
+def run_server_comparison(
+    seed: int = 2009,
+    minutes: int = 10,
+    platform: ServerPlatform | None = None,
+) -> ServerComparison:
+    """Run all four policies on the server setup (Fig. 7).
+
+    ``minutes`` shrinks the trace for quick tests; the paper uses 10.
+    """
+    if platform is None:
+        platform = build_server_system()
+    workload = build_server_workload(platform, seed=seed, minutes=minutes)
+
+    results: dict[str, SimulationResult] = {}
+    results["OFTEC"] = _run(platform, workload, make_oftec(), minutes)
+    results["TECfan"] = _run(
+        platform, workload, TECfanController(), minutes
+    )
+    results["Oracle"] = _run(platform, workload, make_oracle(), minutes)
+    # Oracle-P: constrain each decision to TECfan's achieved chip IPS.
+    floor = results["TECfan"].trace.ips_chip
+    results["Oracle-P"] = _run(
+        platform, workload, make_oracle(perf_floor=floor), minutes
+    )
+    return ServerComparison(
+        platform=platform, workload=workload, results=results
+    )

@@ -1,0 +1,137 @@
+"""Parameter sweeps beyond the paper's headline experiments.
+
+The paper fixes the TEC deployment at a 3 x 3 array per core, citing
+Long & Memik (DAC'10) for the device model and the observation that the
+amount/placement of TECs is itself an optimization problem. These sweeps
+expose that axis (and the fan-level axis) through the same calibrated
+stack, so a user can size a TEC deployment for their own thermal budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import FanTECController
+from repro.core.engine import EngineConfig, SimulationEngine
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import CMPSystem, build_system
+from repro.perf.splash2 import REF_FREQ_GHZ, splash2_workload
+from repro.perf.workload import WorkloadRun
+
+
+@dataclass(frozen=True)
+class TECDensityPoint:
+    """Outcome of one TEC-array-density configuration."""
+
+    grid: tuple[int, int]
+    devices_per_core: int
+    #: Peak temperature at fan level 2 with the reactive TEC policy.
+    peak_temp_c: float
+    #: Average TEC electrical power over the run [W].
+    tec_power_w: float
+    #: Time-weighted violation rate against the dense-grid threshold.
+    violation_rate: float
+
+
+def tec_density_sweep(
+    workload: str = "cholesky",
+    threads: int = 16,
+    grids: tuple = ((1, 1), (2, 2), (3, 3)),
+    fan_level: int = 2,
+    t_threshold_c: float | None = None,
+) -> list[TECDensityPoint]:
+    """How much TEC coverage does hot-spot recovery need?
+
+    Each grid density gets its own system build (the TEC bodies change
+    the passive heat path too); the threshold defaults to the
+    3x3-system's base-scenario peak so all densities chase the same
+    target.
+    """
+    # Threshold from the paper-standard platform.
+    if t_threshold_c is None:
+        from repro.analysis.experiments import run_base_scenario
+
+        reference = build_system()
+        t_threshold_c = run_base_scenario(
+            reference, workload, threads
+        ).t_threshold_c
+
+    points: list[TECDensityPoint] = []
+    for grid in grids:
+        system = build_system(tec_grid=grid)
+        problem = EnergyProblem(t_threshold_c=t_threshold_c)
+        engine = SimulationEngine(
+            system, problem, EngineConfig(max_time_s=2.0)
+        )
+        wl = splash2_workload(workload, threads, system.chip)
+        state = ActuatorState.initial(
+            system.n_tec_devices,
+            system.n_cores,
+            system.dvfs.max_level,
+            fan_level=fan_level,
+        )
+        res = engine.run(
+            WorkloadRun(wl, system.chip, REF_FREQ_GHZ),
+            FanTECController(),
+            initial_state=state,
+        )
+        tr = res.trace
+        dur = float(tr.dt_s.sum())
+        points.append(
+            TECDensityPoint(
+                grid=grid,
+                devices_per_core=grid[0] * grid[1],
+                peak_temp_c=res.metrics.peak_temp_c,
+                tec_power_w=float((tr.p_tec_w * tr.dt_s).sum() / dur),
+                violation_rate=res.metrics.violation_rate,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FanLevelPoint:
+    """Steady-state consequences of one fan level at a given load."""
+
+    level: int
+    fan_power_w: float
+    peak_temp_c: float
+    chip_power_w: float  # with the temperature-leakage coupling
+
+
+def fan_level_sweep(
+    system: CMPSystem,
+    core_activity: float = 0.9,
+) -> list[FanLevelPoint]:
+    """Peak temperature and chip power across fan levels (steady state).
+
+    Exposes the leakage-cooling feedback: a faster fan costs fan power
+    but *saves* leakage power — the trade the higher-level loop walks.
+    """
+    state = ActuatorState.initial(
+        system.n_tec_devices,
+        system.n_cores,
+        system.dvfs.max_level,
+        fan_level=1,
+    )
+    act = np.full(system.n_cores, core_activity)
+    p_dyn = system.power.component_power.dynamic_power_w(
+        act, state.dvfs, None
+    )
+    out: list[FanLevelPoint] = []
+    for level in range(1, system.fan.n_levels + 1):
+        t, p_leak = system.plant_thermal.solve(p_dyn, level, state.tec)
+        out.append(
+            FanLevelPoint(
+                level=level,
+                fan_power_w=system.fan.power_w(level),
+                peak_temp_c=float(system.component_temps_c(t).max()),
+                chip_power_w=float(
+                    p_dyn.sum() + p_leak.sum() + system.fan.power_w(level)
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,92 @@
+"""Table I regeneration (base-scenario measurements vs published rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import BaseScenario, run_base_scenario
+from repro.analysis.report import render_table
+from repro.core.system import CMPSystem
+from repro.perf.splash2 import TABLE1_CASES, Table1Row, table1_row
+
+
+@dataclass(frozen=True)
+class Table1Comparison:
+    """One regenerated row next to the published one."""
+
+    published: Table1Row
+    measured_time_ms: float
+    measured_power_w: float
+    measured_peak_c: float
+
+    @property
+    def time_error_pct(self) -> float:
+        """Relative execution-time error [%]."""
+        return 100.0 * (
+            self.measured_time_ms / self.published.time_ms - 1.0
+        )
+
+    @property
+    def power_error_w(self) -> float:
+        """Absolute power error [W]."""
+        return self.measured_power_w - self.published.power_w
+
+    @property
+    def temp_error_c(self) -> float:
+        """Absolute peak-temperature error [degC]."""
+        return self.measured_peak_c - self.published.peak_temp_c
+
+
+def regenerate_table1(
+    system: CMPSystem,
+    cases: tuple = TABLE1_CASES,
+) -> list[Table1Comparison]:
+    """Run the base scenario for every Table I case."""
+    out: list[Table1Comparison] = []
+    for workload, threads in cases:
+        base: BaseScenario = run_base_scenario(system, workload, threads)
+        out.append(
+            Table1Comparison(
+                published=table1_row(workload, threads),
+                measured_time_ms=base.time_ms,
+                measured_power_w=base.processor_power_w,
+                measured_peak_c=base.t_threshold_c,
+            )
+        )
+    return out
+
+
+def format_table1(comparisons: list[Table1Comparison]) -> str:
+    """Render the regenerated Table I next to the published values."""
+    rows = []
+    for c in comparisons:
+        p = c.published
+        rows.append(
+            [
+                p.workload,
+                p.threads,
+                f"{p.instructions/1e6:.0f}M",
+                c.measured_time_ms,
+                p.time_ms,
+                c.measured_power_w,
+                p.power_w,
+                c.measured_peak_c,
+                p.peak_temp_c,
+            ]
+        )
+    return render_table(
+        [
+            "workload",
+            "thr",
+            "inst",
+            "time[ms]",
+            "paper",
+            "power[W]",
+            "paper",
+            "peak[C]",
+            "paper",
+        ],
+        rows,
+        floatfmt="{:.2f}",
+        title="Table I — base scenario, measured vs published",
+    )

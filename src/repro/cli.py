@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage (installed as the ``tecfan`` entry point)::
+
+    tecfan table1                    # Table I base-scenario comparison
+    tecfan fig4                      # TEC+fan integration study
+    tecfan fig5                      # cooling performance (peaks, violations)
+    tecfan fig6                      # delay / power / energy / EDP
+    tecfan fig7 [--minutes 10]       # server comparison vs OFTEC/Oracle
+    tecfan hwcost                    # Sec. III-E hardware cost summary
+    tecfan quick                     # one fast end-to-end TECfan demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis.tables import format_table1, regenerate_table1
+    from repro.core.system import build_system
+
+    comparisons = regenerate_table1(build_system())
+    print(format_table1(comparisons))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.analysis.figures import figure4, format_figure4
+    from repro.core.system import build_system
+
+    print(format_figure4(figure4(build_system())))
+    return 0
+
+
+def _cmd_fig56(args, which: str) -> int:
+    from repro.analysis.figures import (
+        format_figure5,
+        format_figure6,
+        splash_comparison,
+    )
+    from repro.core.system import build_system
+
+    comp = splash_comparison(build_system())
+    print(format_figure5(comp) if which == "5" else format_figure6(comp))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.analysis.figures import format_figure7
+    from repro.analysis.server_experiment import run_server_comparison
+
+    comparison = run_server_comparison(minutes=args.minutes)
+    print(format_figure7(comparison.normalized_to_oftec()))
+    return 0
+
+
+def _cmd_hwcost(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.core.hwcost import HardwareCostModel
+
+    model = HardwareCostModel()
+    rows = [[k, v] for k, v in model.summary().items()]
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            floatfmt="{:.4f}",
+            title="Sec. III-E — hardware cost of the estimation datapath",
+        )
+    )
+    return 0
+
+
+def _cmd_quick(args) -> int:
+    from repro.analysis.experiments import run_base_scenario, run_policy_suite
+    from repro.core.system import build_system
+
+    system = build_system()
+    base, outcomes = run_policy_suite(system, "lu", 16)
+    print(f"lu/16t: threshold = {base.t_threshold_c:.2f} degC")
+    bm = base.result.metrics
+    for name, oc in outcomes.items():
+        n = oc.chosen.metrics.normalized_to(bm)
+        print(
+            f"  {name:10s} fan={oc.chosen.metrics.fan_level} "
+            f"delay={n['delay']:.3f} energy={n['energy']:.3f} "
+            f"edp={n['edp']:.3f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``tecfan`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="tecfan",
+        description="Regenerate the TECfan paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table I base scenario")
+    sub.add_parser("fig4", help="Figure 4: TEC+fan integration")
+    sub.add_parser("fig5", help="Figure 5: cooling performance")
+    sub.add_parser("fig6", help="Figure 6: energy efficiency")
+    p7 = sub.add_parser("fig7", help="Figure 7: server comparison")
+    p7.add_argument("--minutes", type=int, default=10)
+    sub.add_parser("hwcost", help="Sec. III-E hardware cost")
+    sub.add_parser("quick", help="fast end-to-end demo")
+
+    args = parser.parse_args(argv)
+    dispatch = {
+        "table1": _cmd_table1,
+        "fig4": _cmd_fig4,
+        "fig5": lambda a: _cmd_fig56(a, "5"),
+        "fig6": lambda a: _cmd_fig56(a, "6"),
+        "fig7": _cmd_fig7,
+        "hwcost": _cmd_hwcost,
+        "quick": _cmd_quick,
+    }
+    return dispatch[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

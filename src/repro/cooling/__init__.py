@@ -1,0 +1,36 @@
+"""Cooling actuators: the package fan (global) and TEC arrays (local).
+
+Public API
+----------
+- :class:`~repro.cooling.fan.FanModel` — discrete-speed fan with cubic
+  power and flow-dependent convection resistance
+- :class:`~repro.cooling.tec.TECArray` /
+  :func:`~repro.cooling.tec.build_tec_array` — per-tile thin-film TEC
+  arrays with footprint-resolved die coupling
+- :mod:`~repro.cooling.datasheets` — reconstructed datasheet tables
+"""
+
+from repro.cooling.datasheets import (
+    DEFAULT_TEC_DEVICE,
+    DYNATRON_R16_LEVELS,
+    FanLevelSpec,
+    TEC_GRID_PER_TILE,
+    TECS_PER_TILE,
+    TECDeviceSpec,
+)
+from repro.cooling.fan import CONVECTION_EXPONENT, FanModel
+from repro.cooling.tec import TECArray, TECPlacement, build_tec_array
+
+__all__ = [
+    "DEFAULT_TEC_DEVICE",
+    "DYNATRON_R16_LEVELS",
+    "FanLevelSpec",
+    "TEC_GRID_PER_TILE",
+    "TECS_PER_TILE",
+    "TECDeviceSpec",
+    "CONVECTION_EXPONENT",
+    "FanModel",
+    "TECArray",
+    "TECPlacement",
+    "build_tec_array",
+]

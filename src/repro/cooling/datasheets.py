@@ -1,0 +1,105 @@
+"""Datasheet-derived actuator parameter tables.
+
+The paper takes its fan characteristics from a Dynatron R16 datasheet
+(designed for Intel Core i5 packaging) and its TEC device parameters from
+Long & Memik (DAC'10) / Chowdhury et al. (Nature Nanotech '09) thin-film
+superlattice devices. Neither datasheet ships with this repository, so the
+tables below are reconstructed from the values the paper itself reports:
+
+* fan level 1 (highest speed) consumes 14.4 W, level 2 consumes 3.8 W,
+  and fan power is cubic in speed (Sec. V-B, Fig. 4(c));
+* TEC drive current is fixed at 6 A because more than 8 A risks
+  overheating (Sec. III-B);
+* the thin-film TEC is a 0.5 mm x 0.5 mm device, 3 x 3 of which cover one
+  core tile (Sec. IV-C), and its Peltier effect engages within 20 us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FanLevelSpec:
+    """One discrete fan operating point."""
+
+    level: int  # 1 = fastest (paper's convention)
+    rpm: float
+    airflow_cfm: float
+    power_w: float
+
+
+def _cubic_power(rpm: float, rpm_max: float, p_max: float) -> float:
+    """Fan power follows a cubic law in speed (Patterson, ITHERM'08)."""
+    return p_max * (rpm / rpm_max) ** 3
+
+
+#: Maximum fan speed [rpm] — Dynatron R16 class 70 mm server fan.
+_RPM_MAX = 7000.0
+
+#: Fan power at maximum speed [W] (paper, Fig. 4(c)).
+_P_MAX = 14.4
+
+#: Airflow at maximum speed [CFM] (R16-class blower).
+_CFM_MAX = 37.0
+
+#: Discrete speed points. Level 2 at 4500 rpm reproduces the paper's
+#: 3.8 W figure: 14.4 * (4500/7000)^3 = 3.83 W.
+_RPMS = (7000.0, 4500.0, 3500.0, 2800.0, 2200.0, 1600.0)
+
+#: Dynatron-R16-style fan table, level 1 = fastest.
+DYNATRON_R16_LEVELS: tuple[FanLevelSpec, ...] = tuple(
+    FanLevelSpec(
+        level=i + 1,
+        rpm=rpm,
+        airflow_cfm=_CFM_MAX * rpm / _RPM_MAX,
+        power_w=_cubic_power(rpm, _RPM_MAX, _P_MAX),
+    )
+    for i, rpm in enumerate(_RPMS)
+)
+
+
+@dataclass(frozen=True)
+class TECDeviceSpec:
+    """Thin-film superlattice TEC device parameters.
+
+    The electrical model is the paper's Eq. (9): ``P = r I^2 + a I dT``.
+    The thermal model adds the standard Peltier pumping expression
+    ``Q_c = a I T_c - 1/2 I^2 r - K (T_h - T_c)`` (Long & Memik, DAC'10).
+    """
+
+    #: Device footprint [mm] (square).
+    size_mm: float = 0.5
+    #: Seebeck coefficient of the device [V/K] (two superlattice couples
+    #: at ~200 uV/K each).
+    seebeck_v_per_k: float = 4.0e-4
+    #: Electrical resistance [ohm]. A ~10 um Bi2Te3 film over 0.25 mm^2
+    #: is in the low-milliohm range; 3 mOhm keeps the Joule term of
+    #: Eq. (9) at ~0.11 W per device at the 6 A drive current.
+    resistance_ohm: float = 0.003
+    #: Thermal conductance through the device body [W/K].
+    conductance_w_per_k: float = 0.030
+    #: Drive current when on [A]. The paper conservatively uses 6 A
+    #: (more than 8 A was identified as dangerous).
+    current_a: float = 6.0
+    #: Peltier engagement delay [s] (Gupta et al.: up to 20 us).
+    engage_delay_s: float = 20e-6
+
+    @property
+    def area_mm2(self) -> float:
+        """Device footprint area [mm^2]."""
+        return self.size_mm * self.size_mm
+
+
+#: Default thin-film device. At 6 A it pumps ``a I T_c`` ~ 0.87 W from a
+#: 90 degC junction at ~0.1 W electrical cost (the die being hotter than
+#: the spreader, the Peltier current works *with* the gradient), sized so
+#: the per-core 3x3 array recovers the one-fan-level cooling deficit of
+#: Fig. 4 but cannot substitute for two levels.
+DEFAULT_TEC_DEVICE = TECDeviceSpec()
+
+#: TEC array layout per core tile (3 x 3, Sec. IV-C).
+TEC_GRID_PER_TILE: tuple[int, int] = (3, 3)
+
+#: Devices per core tile.
+TECS_PER_TILE: int = TEC_GRID_PER_TILE[0] * TEC_GRID_PER_TILE[1]

@@ -1,0 +1,112 @@
+"""Fan model: discrete speed levels, power, and convection conductance.
+
+The fan is the *global* cooling actuator: its airflow sets the convective
+thermal resistance between the heat sink and ambient air. Forced
+convection over a finned sink scales as ``R_conv ~ V^-0.8`` (turbulent
+flow correlation), which we apply relative to a calibrated resistance at
+maximum airflow. Fan electrical power follows the cubic law of the
+datasheet table in :mod:`repro.cooling.datasheets`.
+
+Levels use the paper's convention: **level 1 is the fastest**; larger
+level numbers are slower, cheaper, and less effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cooling.datasheets import DYNATRON_R16_LEVELS, FanLevelSpec
+from repro.exceptions import ConfigurationError
+
+#: Exponent of the convection-resistance vs airflow correlation.
+CONVECTION_EXPONENT: float = 0.8
+
+
+@dataclass(frozen=True)
+class FanModel:
+    """A speed-adjustable fan attached to the package heat sink.
+
+    Parameters
+    ----------
+    levels:
+        Datasheet operating points, fastest first.
+    r_conv_at_max_k_per_w:
+        Sink-to-ambient convective resistance at level 1 [K/W]. This is
+        the package-calibration knob (see DESIGN.md Sec. 3).
+    """
+
+    levels: tuple[FanLevelSpec, ...] = DYNATRON_R16_LEVELS
+    r_conv_at_max_k_per_w: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("fan needs at least one speed level")
+        if self.r_conv_at_max_k_per_w <= 0:
+            raise ConfigurationError("convective resistance must be positive")
+        flows = [lv.airflow_cfm for lv in self.levels]
+        if any(b >= a for a, b in zip(flows, flows[1:])):
+            raise ConfigurationError(
+                "fan levels must be ordered fastest (level 1) to slowest"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of speed levels."""
+        return len(self.levels)
+
+    def _spec(self, level: int) -> FanLevelSpec:
+        if not 1 <= level <= self.n_levels:
+            raise ConfigurationError(
+                f"fan level {level} outside 1..{self.n_levels}"
+            )
+        return self.levels[level - 1]
+
+    def power_w(self, level: int) -> float:
+        """Electrical power drawn at ``level`` [W]."""
+        return self._spec(level).power_w
+
+    def airflow_cfm(self, level: int) -> float:
+        """Airflow at ``level`` [CFM]."""
+        return self._spec(level).airflow_cfm
+
+    def rpm(self, level: int) -> float:
+        """Rotational speed at ``level`` [rpm]."""
+        return self._spec(level).rpm
+
+    def convection_resistance_k_per_w(self, level: int) -> float:
+        """Sink-to-ambient thermal resistance at ``level`` [K/W].
+
+        ``R(level) = R_max_flow * (flow_max / flow_level)^0.8``.
+        """
+        spec = self._spec(level)
+        ratio = self.levels[0].airflow_cfm / spec.airflow_cfm
+        return self.r_conv_at_max_k_per_w * ratio**CONVECTION_EXPONENT
+
+    def convection_conductance_w_per_k(self, level: int) -> float:
+        """Reciprocal of :meth:`convection_resistance_k_per_w` [W/K]."""
+        return 1.0 / self.convection_resistance_k_per_w(level)
+
+    # ------------------------------------------------------------------
+    def power_table(self) -> np.ndarray:
+        """Vector of power per level, index 0 = level 1 [W]."""
+        return np.array([lv.power_w for lv in self.levels])
+
+    def conductance_table(self) -> np.ndarray:
+        """Vector of sink-ambient conductance per level [W/K]."""
+        return np.array(
+            [
+                self.convection_conductance_w_per_k(lv.level)
+                for lv in self.levels
+            ]
+        )
+
+    def slower(self, level: int) -> int | None:
+        """The next slower level, or None if already slowest."""
+        return level + 1 if level < self.n_levels else None
+
+    def faster(self, level: int) -> int | None:
+        """The next faster level, or None if already fastest."""
+        return level - 1 if level > 1 else None

@@ -1,0 +1,78 @@
+"""Core: the TECfan optimization framework and its evaluation harness.
+
+Public API
+----------
+- :class:`~repro.core.system.CMPSystem` / :func:`~repro.core.system.build_system`
+- :class:`~repro.core.state.ActuatorState`
+- :class:`~repro.core.problem.EnergyProblem` (Eq. 12-14)
+- :class:`~repro.core.estimator.NextIntervalEstimator`
+- :class:`~repro.core.tecfan.TECfanController` — the paper's heuristic
+- :mod:`~repro.core.baselines` — Fan-only, Fan+TEC, Fan+DVFS, DVFS+TEC
+- :class:`~repro.core.oracle.ExhaustiveSearcher` — Oracle / Oracle-P /
+  OFTEC exhaustive optimizers (Sec. V-E)
+- :class:`~repro.core.engine.SimulationEngine` /
+  :func:`~repro.core.engine.run_fan_sweep`
+- :mod:`~repro.core.metrics`, :mod:`~repro.core.trace`
+- :mod:`~repro.core.hwcost` — Sec. III-E hardware cost model
+"""
+
+from repro.core.baselines import (
+    DVFSTECController,
+    FanDVFSController,
+    FanOnlyController,
+    FanTECController,
+)
+from repro.core.controller import Controller
+from repro.core.engine import (
+    EngineConfig,
+    SimulationEngine,
+    SimulationResult,
+    run_fan_sweep,
+)
+from repro.core.estimator import Estimate, NextIntervalEstimator
+from repro.core.export import (
+    metrics_to_dict,
+    metrics_to_json,
+    trace_to_csv,
+    trace_to_rows,
+)
+from repro.core.hwcost import HardwareCostModel
+from repro.core.local_estimator import LocalBandedEstimator
+from repro.core.oracle import ExhaustiveSearcher, make_oftec, make_oracle
+from repro.core.metrics import RunMetrics, summarize
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import CMPSystem, build_system
+from repro.core.tecfan import TECfanController
+from repro.core.trace import TraceRecorder
+
+__all__ = [
+    "DVFSTECController",
+    "FanDVFSController",
+    "FanOnlyController",
+    "FanTECController",
+    "Controller",
+    "EngineConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "run_fan_sweep",
+    "Estimate",
+    "NextIntervalEstimator",
+    "metrics_to_dict",
+    "metrics_to_json",
+    "trace_to_csv",
+    "trace_to_rows",
+    "HardwareCostModel",
+    "LocalBandedEstimator",
+    "ExhaustiveSearcher",
+    "make_oftec",
+    "make_oracle",
+    "RunMetrics",
+    "summarize",
+    "EnergyProblem",
+    "ActuatorState",
+    "CMPSystem",
+    "build_system",
+    "TECfanController",
+    "TraceRecorder",
+]

@@ -1,0 +1,208 @@
+"""Next-interval estimation: the controller's what-if machine.
+
+Each control period, TECfan (and the baselines that estimate) must
+answer: *if* the actuators were set to candidate configuration X, what
+would next interval's temperatures and per-instruction energy be?
+(Sec. III-D: "estimate the temperature and per-instruction energy
+consumption in the next time interval if certain adjustment is made").
+
+The estimator composes the paper's on-line models:
+
+* dynamic power — Eq. (7) scaling of the last *measured* interval
+  (:class:`repro.power.dynamic.DynamicPowerTracker`);
+* leakage — linear Eq. (6) at the last measured temperatures;
+* temperature — steady state Eq. (1) + transient Eq. (5);
+* IPS — a pluggable predictor: Eq. (11) linear scaling for the closed
+  SPLASH-2 workloads, or the demand-capped quadratic SPECjbb model for
+  the server experiment (Sec. IV-B);
+* TEC and fan power — Eq. (9) and the fan table.
+
+Every :meth:`evaluate` call is counted, which is how the overhead
+benchmark validates the O(NL + N^2 M) complexity claim of Sec. V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro import units
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import CMPSystem
+from repro.exceptions import ControlError
+from repro.power.component_power import core_dvfs_domain_mask
+from repro.power.dynamic import DynamicPowerTracker
+
+
+class IPSPredictor(Protocol):
+    """Strategy mapping a candidate DVFS vector to per-core IPS."""
+
+    def observe(self, ips: np.ndarray, dvfs_levels: np.ndarray) -> None:
+        """Record the last interval's measured IPS and levels."""
+        ...
+
+    def predict(self, dvfs_levels: np.ndarray) -> np.ndarray:
+        """Per-core IPS for a candidate level vector."""
+        ...
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Outcome of one what-if evaluation."""
+
+    state: ActuatorState
+    t_nodes_k: np.ndarray
+    peak_temp_c: float
+    p_chip_w: float
+    p_cores_w: float
+    p_tec_w: float
+    p_fan_w: float
+    ips_chip: float
+    epi: float
+
+    def feasible(self, problem: EnergyProblem) -> bool:
+        """Does this candidate meet the temperature constraint?"""
+        return problem.satisfied(self.peak_temp_c)
+
+
+@dataclass
+class NextIntervalEstimator:
+    """What-if evaluator over one :class:`CMPSystem`.
+
+    Call :meth:`begin_interval` once per control period with the plant's
+    measurements, then :meth:`evaluate` for each candidate. Evaluations
+    within a period are memoized by actuator state.
+    """
+
+    system: CMPSystem
+    ips_predictor: IPSPredictor
+    dyn_tracker: DynamicPowerTracker = field(default=None)
+    #: Total evaluations performed (complexity accounting).
+    n_evaluations: int = 0
+
+    # Per-interval context
+    _t_nodes_k: np.ndarray = field(default=None, repr=False)
+    _dt_s: float = 0.0
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dyn_tracker is None:
+            self.dyn_tracker = DynamicPowerTracker(
+                dvfs=self.system.dvfs,
+                tile_of=self.system.chip.tile_of(),
+                core_domain=core_dvfs_domain_mask(self.system.chip),
+            )
+
+    # ------------------------------------------------------------------
+    def begin_interval(
+        self,
+        sensor_temps_c: np.ndarray,
+        p_dyn_measured_w: np.ndarray,
+        ips_measured: np.ndarray,
+        state: ActuatorState,
+        dt_s: float,
+    ) -> None:
+        """Load one control period's measurements.
+
+        Parameters
+        ----------
+        sensor_temps_c:
+            Per-component sensor readings [degC].
+        p_dyn_measured_w:
+            Per-component dynamic power of the last interval [W]
+            (CAMP-style runtime estimate).
+        ips_measured:
+            Per-core IPS of the last interval.
+        state:
+            The actuator configuration that produced the measurements.
+        dt_s:
+            Lower-level control period length.
+        """
+        if dt_s <= 0:
+            raise ControlError(f"non-positive control period {dt_s}")
+        nodes = self.system.nodes
+        if self._t_nodes_k is None:
+            self._t_nodes_k = self.system.uniform_initial_temps_k()
+        # The controller senses die components; spreader and sink states
+        # persist from its own previous prediction (a simple observer).
+        t = self._t_nodes_k.copy()
+        t[nodes.component_slice] = units.c_to_k(sensor_temps_c)
+        self._t_nodes_k = t
+        self.dyn_tracker.observe(p_dyn_measured_w, state.dvfs)
+        self.ips_predictor.observe(ips_measured, state.dvfs)
+        self._dt_s = dt_s
+        self._cache.clear()
+
+    def commit(self, estimate: Estimate) -> None:
+        """Adopt an accepted candidate's field as the observer state."""
+        self._t_nodes_k = estimate.t_nodes_k
+
+    # ------------------------------------------------------------------
+    def evaluate(self, state: ActuatorState) -> Estimate:
+        """Predict next-interval temperature and EPI for ``state``."""
+        if self._t_nodes_k is None:
+            raise ControlError("begin_interval must be called first")
+        key = state.key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.n_evaluations += 1
+        system = self.system
+        nodes = system.nodes
+
+        p_dyn = self.dyn_tracker.predict(state.dvfs)
+        t_comp_k = self._t_nodes_k[nodes.component_slice]
+        p_leak = system.power.controller_leakage.per_component_w(t_comp_k)
+
+        t_steady = system.solver.solve(
+            p_dyn + p_leak, state.fan_level, state.tec
+        )
+        t_next = system.transient.step(
+            self._t_nodes_k, t_steady, self._dt_s, state.fan_level, state.tec
+        )
+        peak_c = float(
+            units.k_to_c(t_next[nodes.component_slice]).max()
+        )
+
+        p_cores = float(p_dyn.sum() + p_leak.sum())
+        p_tec = system.tec_power_w(state.tec, t_next)
+        p_fan = system.fan.power_w(state.fan_level)
+        p_chip = p_cores + p_tec + p_fan
+
+        ips = float(np.sum(self.ips_predictor.predict(state.dvfs)))
+        est = Estimate(
+            state=state,
+            t_nodes_k=t_next,
+            peak_temp_c=peak_c,
+            p_chip_w=p_chip,
+            p_cores_w=p_cores,
+            p_tec_w=p_tec,
+            p_fan_w=p_fan,
+            ips_chip=ips,
+            epi=EnergyProblem.epi(p_chip, ips),
+        )
+        self._cache[key] = est
+        return est
+
+    # ------------------------------------------------------------------
+    def evaluate_fan_setting(
+        self,
+        avg_p_components_w: np.ndarray,
+        avg_tec: np.ndarray,
+        fan_level: int,
+    ) -> float:
+        """Higher-level fan loop estimate: steady-state peak temp [degC].
+
+        Uses the last higher-level interval's *average* power and TEC
+        state (possibly fractional), per Sec. III-D. The fan acts through
+        the heat sink whose time constant dwarfs the fan period, so the
+        steady field is the right horizon.
+        """
+        self.n_evaluations += 1
+        t = self.system.solver.solve(avg_p_components_w, fan_level, avg_tec)
+        return float(
+            units.k_to_c(t[self.system.nodes.component_slice]).max()
+        )

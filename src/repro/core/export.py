@@ -1,0 +1,85 @@
+"""Trace export: CSV / dict serialization of simulation results.
+
+Downstream users plot and post-process runs outside this library;
+these helpers dump a :class:`~repro.core.trace.TraceRecorder` (and the
+run summary) in portable formats with no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.core.metrics import RunMetrics
+from repro.core.trace import TraceRecorder
+
+#: Column order of the CSV export.
+TRACE_COLUMNS: tuple[str, ...] = (
+    "time_s",
+    "dt_s",
+    "peak_temp_c",
+    "p_chip_w",
+    "p_cores_w",
+    "p_tec_w",
+    "p_fan_w",
+    "ips_chip",
+    "tec_on",
+    "fan_level",
+    "mean_dvfs_level",
+)
+
+
+def trace_to_rows(trace: TraceRecorder) -> list[dict[str, float]]:
+    """Trace as a list of per-interval dicts (column -> value)."""
+    columns = {name: getattr(trace, name) for name in TRACE_COLUMNS}
+    return [
+        {name: float(columns[name][i]) for name in TRACE_COLUMNS}
+        for i in range(len(trace))
+    ]
+
+
+def trace_to_csv(trace: TraceRecorder, path: str | Path | None = None) -> str:
+    """Serialize a trace to CSV; optionally write it to ``path``.
+
+    Returns the CSV text either way.
+    """
+    buf = io.StringIO()
+    writer = csv.DictWriter(
+        buf, fieldnames=list(TRACE_COLUMNS), lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in trace_to_rows(trace):
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Run summary as a JSON-safe dict (includes derived EDP/EPI)."""
+    return {
+        "policy": metrics.policy,
+        "workload": metrics.workload,
+        "fan_level": metrics.fan_level,
+        "execution_time_s": metrics.execution_time_s,
+        "average_power_w": metrics.average_power_w,
+        "energy_j": metrics.energy_j,
+        "peak_temp_c": metrics.peak_temp_c,
+        "violation_rate": metrics.violation_rate,
+        "instructions": metrics.instructions,
+        "edp": metrics.edp,
+        "epi": metrics.epi,
+    }
+
+
+def metrics_to_json(
+    metrics: RunMetrics, path: str | Path | None = None
+) -> str:
+    """Serialize a run summary to JSON; optionally write to ``path``."""
+    text = json.dumps(metrics_to_dict(metrics), indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

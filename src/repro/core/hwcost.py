@@ -1,0 +1,132 @@
+"""Hardware cost model of TECfan's estimation datapath (Sec. III-E).
+
+The paper budgets the on-chip implementation: a systolic array performs
+the band-matrix-vector product that predicts one core's temperatures in
+one cycle, needing ``M x K`` fixed-point multipliers (M components per
+core, K thermally-adjacent components each). It then anchors the area
+to Bitirgen et al.'s 16-bit multiplier (0.057 mm^2 at 65 nm) and the
+power to the IBM POWER6 FPU's density (0.56 W/mm^2 at 1.1 V / 4 GHz),
+concluding < 1.7 % area+power overhead for 54 eight-bit multipliers.
+
+This module recomputes those numbers parametrically so the benchmark
+``benchmarks/bench_hwcost.py`` regenerates the section's figures and the
+tests pin them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: Area of a 16-bit fixed-point multiplier at 65 nm [mm^2]
+#: (Bitirgen, Ipek & Martinez, MICRO'08).
+AREA_16BIT_MULT_MM2: float = 0.057
+
+#: Power density of the IBM POWER6 FPU at 100% utilization, nominal
+#: voltage/frequency (1.1 V, 4 GHz) [W/mm^2] (Curran et al., ISSCC'06).
+POWER6_FPU_DENSITY_W_PER_MM2: float = 0.56
+
+#: Reference die area the paper uses for the overhead ratio [mm^2].
+TYPICAL_DIE_AREA_MM2: float = 200.0
+
+
+@dataclass(frozen=True)
+class HardwareCostModel:
+    """Parametric cost of the systolic temperature-estimation array.
+
+    Parameters
+    ----------
+    components_per_core:
+        M — thermal nodes evaluated per core (paper: 18).
+    band_neighbours:
+        K — components with thermal impact on a node (paper: 3; G is a
+        band matrix because only adjacent components interact).
+    multiplier_bits:
+        Datapath width; the paper argues 8 bits suffice for temperature
+        and energy comparison.
+    die_area_mm2:
+        Die area against which overhead is reported.
+    chip_power_w:
+        Chip power against which the multiplier power is reported.
+    """
+
+    components_per_core: int = 18
+    band_neighbours: int = 3
+    multiplier_bits: int = 8
+    die_area_mm2: float = TYPICAL_DIE_AREA_MM2
+    chip_power_w: float = 126.0
+
+    def __post_init__(self) -> None:
+        if self.components_per_core < 1 or self.band_neighbours < 1:
+            raise ConfigurationError("M and K must be positive")
+        if not 1 <= self.multiplier_bits <= 64:
+            raise ConfigurationError("implausible multiplier width")
+
+    # ------------------------------------------------------------------
+    @property
+    def multipliers(self) -> int:
+        """Fixed-point multipliers in the systolic array (M x K)."""
+        return self.components_per_core * self.band_neighbours
+
+    @property
+    def multiplier_area_mm2(self) -> float:
+        """Area of one multiplier [mm^2].
+
+        Array multiplier area scales ~quadratically with width; the
+        16-bit anchor scales by ``(bits/16)^2``.
+        """
+        return AREA_16BIT_MULT_MM2 * (self.multiplier_bits / 16.0) ** 2
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total estimator datapath area [mm^2]."""
+        return self.multipliers * self.multiplier_area_mm2
+
+    @property
+    def area_overhead(self) -> float:
+        """Fraction of the die spent on the estimator."""
+        return self.total_area_mm2 / self.die_area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        """Datapath power at 100% utilization [W]."""
+        return self.total_area_mm2 * POWER6_FPU_DENSITY_W_PER_MM2
+
+    @property
+    def power_overhead(self) -> float:
+        """Fraction of chip power spent on the estimator."""
+        return self.total_power_w / self.chip_power_w
+
+    def multiplications_per_decision(
+        self, n_cores: int, candidates_per_interval: int
+    ) -> int:
+        """Fixed-point multiplies per control interval.
+
+        One candidate evaluation = one core pass = M x K multiplies;
+        the array is time-shared across candidates (Sec. III-E: "the
+        other computation of TECfan can time-share the calculation
+        unit").
+        """
+        return self.multipliers * candidates_per_interval
+
+    def summary(self) -> dict[str, float]:
+        """The numbers Sec. III-E reports, as a dict."""
+        return {
+            "multipliers": float(self.multipliers),
+            "area_mm2": self.total_area_mm2,
+            "area_overhead_pct": 100.0 * self.area_overhead,
+            "power_w": self.total_power_w,
+            "power_overhead_pct": 100.0 * self.power_overhead,
+        }
+
+
+def paper_single_multiplier_cost() -> dict[str, float]:
+    """The paper's illustrative single 16-bit multiplier numbers:
+    0.057 mm^2 (0.03% of a 200 mm^2 die) and ~0.03 W."""
+    area = AREA_16BIT_MULT_MM2
+    return {
+        "area_mm2": area,
+        "area_overhead_pct": 100.0 * area / TYPICAL_DIE_AREA_MM2,
+        "power_w": area * POWER6_FPU_DENSITY_W_PER_MM2,
+    }

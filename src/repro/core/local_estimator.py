@@ -1,0 +1,317 @@
+"""The paper's hardware temperature estimator: banded, one core at a time.
+
+Sec. III-E describes TECfan's on-chip estimation pipeline: G is a band
+matrix (thermal influence is local), implemented as a systolic array that
+evaluates **one core per cycle** using ``M x K = 18 x 3 = 54`` fixed-point
+multiplies — i.e. candidate evaluation sees only the candidate core's own
+components; everything outside (neighbouring cores' boundary components,
+the heat spreader, the sink) is frozen at its last known temperature.
+
+:class:`LocalBandedEstimator` reproduces that locality:
+
+* per control interval, one full-model bookkeeping solve anchors the
+  observer (firmware can afford this at the measurement rate; candidate
+  screening cannot);
+* every candidate evaluation re-solves only the cores whose knobs differ
+  from the applied configuration, against *frozen boundary temperatures*.
+
+The locality is exactly why the hardware heuristic struggles at slow fan
+speeds: each locally-evaluated move looks safe, but the global
+spreader/sink warm-up that a chip-wide decision causes is invisible until
+the next interval's sensors report it. The ablation benchmark
+(``benchmarks/bench_ablation.py``) quantifies this against the idealized
+full-model estimator of :class:`repro.core.estimator.NextIntervalEstimator`.
+
+Temperatures handled by this estimator are quantized to the 8-bit /
+0.5 degC encoding the paper budgets for the comparator datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import units
+from repro.core.estimator import Estimate, IPSPredictor
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import CMPSystem
+from repro.exceptions import ControlError
+from repro.power.component_power import core_dvfs_domain_mask
+from repro.power.dynamic import DynamicPowerTracker
+
+#: Temperature quantization step of the 8-bit hardware encoding [K].
+HW_TEMP_STEP_K: float = 0.5
+
+
+def _quantize(t_k: np.ndarray) -> np.ndarray:
+    """Round temperatures to the hardware's 0.5 degC resolution."""
+    return np.round(t_k / HW_TEMP_STEP_K) * HW_TEMP_STEP_K
+
+
+@dataclass
+class _CoreBlock:
+    """Precomputed local model of one core tile."""
+
+    comp_idx: np.ndarray  # flat indices of this core's components
+    g_local: np.ndarray  # dense (m, m) intra-core conductance block
+    # External couplings: for each local component, lists of (node, g).
+    ext_node: list  # list of np.ndarray of external node indices
+    ext_g: list  # matching conductances
+    spreader_node: int
+    capacities: np.ndarray  # per local component [J/K]
+
+
+@dataclass
+class LocalBandedEstimator:
+    """Sec. III-E's per-core banded what-if evaluator.
+
+    Drop-in replacement for
+    :class:`repro.core.estimator.NextIntervalEstimator`; see module
+    docstring for the locality semantics.
+    """
+
+    system: CMPSystem
+    ips_predictor: IPSPredictor
+    dyn_tracker: DynamicPowerTracker = field(default=None)
+    n_evaluations: int = 0
+    #: Core re-solves performed (the hardware's "systolic array passes").
+    n_core_solves: int = 0
+
+    _blocks: list = field(default=None, repr=False)
+    _t_nodes_k: np.ndarray = field(default=None, repr=False)
+    _dt_s: float = 0.0
+    _base_state: ActuatorState = field(default=None, repr=False)
+    _base_pred_comp_k: np.ndarray = field(default=None, repr=False)
+    _p_leak: np.ndarray = field(default=None, repr=False)
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dyn_tracker is None:
+            self.dyn_tracker = DynamicPowerTracker(
+                dvfs=self.system.dvfs,
+                tile_of=self.system.chip.tile_of(),
+                core_domain=core_dvfs_domain_mask(self.system.chip),
+            )
+        self._build_blocks()
+
+    # ------------------------------------------------------------------
+    def _build_blocks(self) -> None:
+        system = self.system
+        nodes = system.nodes
+        g_full = system.cond.base_matrix().tocsr()
+        n_comp = nodes.n_components
+        blocks: list[_CoreBlock] = []
+        for core in range(system.n_cores):
+            sl = system.chip.tile_slice(core)
+            idx = np.arange(sl.start, sl.stop)
+            local_pos = {int(i): k for k, i in enumerate(idx)}
+            m = len(idx)
+            g_local = np.zeros((m, m))
+            ext_node: list[np.ndarray] = []
+            ext_g: list[np.ndarray] = []
+            for k, i in enumerate(idx):
+                row = g_full.getrow(int(i))
+                cols = row.indices
+                vals = row.data
+                e_nodes: list[int] = []
+                e_gs: list[float] = []
+                for c, v in zip(cols, vals):
+                    if int(c) in local_pos:
+                        g_local[k, local_pos[int(c)]] = v
+                    else:
+                        # Off-diagonal entries are -g; boundary nodes are
+                        # frozen, so they contribute g*T_ext to the RHS
+                        # and +g to the diagonal (already included in the
+                        # full matrix's diagonal, which we copied above
+                        # via the (i, i) entry).
+                        e_nodes.append(int(c))
+                        e_gs.append(-float(v))
+                ext_node.append(np.asarray(e_nodes, dtype=np.intp))
+                ext_g.append(np.asarray(e_gs, dtype=float))
+            blocks.append(
+                _CoreBlock(
+                    comp_idx=idx,
+                    g_local=g_local,
+                    ext_node=ext_node,
+                    ext_g=ext_g,
+                    spreader_node=nodes.spreader_index(core),
+                    capacities=nodes.capacities[sl],
+                )
+            )
+        self._blocks = blocks
+
+    # ------------------------------------------------------------------
+    def begin_interval(
+        self,
+        sensor_temps_c: np.ndarray,
+        p_dyn_measured_w: np.ndarray,
+        ips_measured: np.ndarray,
+        state: ActuatorState,
+        dt_s: float,
+    ) -> None:
+        """Load one control period's measurements (see full estimator)."""
+        if dt_s <= 0:
+            raise ControlError(f"non-positive control period {dt_s}")
+        system = self.system
+        nodes = system.nodes
+        first_call = self._t_nodes_k is None
+        if first_call:
+            self._t_nodes_k = system.uniform_initial_temps_k()
+        self.dyn_tracker.observe(p_dyn_measured_w, state.dvfs)
+        self.ips_predictor.observe(ips_measured, state.dvfs)
+        self._dt_s = dt_s
+        # Firmware bookkeeping: one full steady solve at the *applied*
+        # configuration anchors the spreader/sink observer. Components
+        # come from the (quantized) sensors.
+        t = self._t_nodes_k.copy()
+        t[nodes.component_slice] = _quantize(units.c_to_k(sensor_temps_c))
+        p_leak = system.power.controller_leakage.per_component_w(
+            t[nodes.component_slice]
+        )
+        p_dyn = self.dyn_tracker.predict(state.dvfs)
+        t_anchor = system.solver.solve(p_dyn + p_leak, state.fan_level, state.tec)
+        rest = slice(nodes.n_components, nodes.n_nodes)
+        if first_call:
+            # Boot the observer at the anchored steady state; afterwards
+            # the slow nodes track it with their own RC dynamics.
+            t[rest] = t_anchor[rest]
+        else:
+            beta = system.transient.betas(dt_s, state.fan_level, state.tec)
+            t[rest] = (
+                (1.0 - beta[rest]) * t_anchor[rest] + beta[rest] * t[rest]
+            )
+        self._t_nodes_k = t
+        self._p_leak = system.power.controller_leakage.per_component_w(
+            t[nodes.component_slice]
+        )
+        self._base_state = state
+        self._base_pred_comp_k = None
+        self._cache.clear()
+
+    def commit(self, estimate: Estimate) -> None:
+        """Adopt an accepted candidate's components into the observer."""
+        self._t_nodes_k = estimate.t_nodes_k
+
+    # ------------------------------------------------------------------
+    def _solve_core(
+        self, core: int, state: ActuatorState, p_dyn: np.ndarray
+    ) -> np.ndarray:
+        """Banded next-interval prediction of one core's components [K]."""
+        self.n_core_solves += 1
+        system = self.system
+        blk: _CoreBlock = self._blocks[core]
+        idx = blk.comp_idx
+        m = len(idx)
+        a = blk.g_local.copy()
+        t_now = self._t_nodes_k
+
+        # RHS: component power + frozen-boundary inflow.
+        t_comp_now = t_now[system.nodes.component_slice]
+        b = (p_dyn + self._p_leak)[idx].astype(float)
+        for k in range(m):
+            if blk.ext_node[k].size:
+                b[k] += float(
+                    np.dot(blk.ext_g[k], t_now[blk.ext_node[k]])
+                )
+
+        # TEC terms for devices on this tile (pump on diagonal, Joule in
+        # RHS; the hot side is the frozen spreader).
+        tec = system.tec
+        for dev in tec.tile_devices(core):
+            s = float(state.tec[dev])
+            if s <= 0.0:
+                continue
+            placement = tec.placements[dev]
+            s_joule = float(tec.joule_scale(np.array([s]))[0])
+            for ci, w in zip(placement.component_idx, placement.weights):
+                k = int(ci - idx[0])
+                a[k, k] += s * w * tec.alpha_i
+                b[k] += s_joule * w * 0.5 * tec.joule_w
+
+        t_steady = np.linalg.solve(a, b)
+        # Eq. (5) per local node with the local diagonal conductance.
+        beta = np.exp(-self._dt_s * np.diag(a) / blk.capacities)
+        t_next = (1.0 - beta) * t_steady + beta * t_comp_now[idx]
+        return _quantize(t_next)
+
+    def _base_prediction(self) -> np.ndarray:
+        if self._base_pred_comp_k is None:
+            state = self._base_state
+            p_dyn = self.dyn_tracker.predict(state.dvfs)
+            pred = self._t_nodes_k[self.system.nodes.component_slice].copy()
+            for core in range(self.system.n_cores):
+                blk = self._blocks[core]
+                pred[blk.comp_idx] = self._solve_core(core, state, p_dyn)
+            self._base_pred_comp_k = pred
+        return self._base_pred_comp_k
+
+    def _diff_cores(self, state: ActuatorState) -> list[int]:
+        base = self._base_state
+        cores = set(np.flatnonzero(state.dvfs != base.dvfs).tolist())
+        changed_dev = np.flatnonzero(state.tec != base.tec)
+        for dev in changed_dev:
+            cores.add(int(self.system.tec.device_tile[dev]))
+        return sorted(cores)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, state: ActuatorState) -> Estimate:
+        """Predict next-interval peak temperature and EPI for ``state``.
+
+        Only the cores whose knobs differ from the applied configuration
+        are re-solved — the paper's one-core-per-cycle datapath.
+        """
+        if self._t_nodes_k is None:
+            raise ControlError("begin_interval must be called first")
+        key = state.key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.n_evaluations += 1
+        system = self.system
+        nodes = system.nodes
+
+        p_dyn = self.dyn_tracker.predict(state.dvfs)
+        pred = self._base_prediction().copy()
+        for core in self._diff_cores(state):
+            blk = self._blocks[core]
+            pred[blk.comp_idx] = self._solve_core(core, state, p_dyn)
+
+        t_nodes = self._t_nodes_k.copy()
+        t_nodes[nodes.component_slice] = pred
+        peak_c = float(units.k_to_c(pred).max())
+
+        p_cores = float(p_dyn.sum() + self._p_leak.sum())
+        p_tec = system.tec_power_w(state.tec, t_nodes)
+        p_fan = system.fan.power_w(state.fan_level)
+        p_chip = p_cores + p_tec + p_fan
+        ips = float(np.sum(self.ips_predictor.predict(state.dvfs)))
+        est = Estimate(
+            state=state,
+            t_nodes_k=t_nodes,
+            peak_temp_c=peak_c,
+            p_chip_w=p_chip,
+            p_cores_w=p_cores,
+            p_tec_w=p_tec,
+            p_fan_w=p_fan,
+            ips_chip=ips,
+            epi=EnergyProblem.epi(p_chip, ips),
+        )
+        self._cache[key] = est
+        return est
+
+    # ------------------------------------------------------------------
+    def evaluate_fan_setting(
+        self,
+        avg_p_components_w: np.ndarray,
+        avg_tec: np.ndarray,
+        fan_level: int,
+    ) -> float:
+        """Higher-level fan estimate — full model (firmware, not the
+        systolic datapath; it runs at seconds scale)."""
+        self.n_evaluations += 1
+        t = self.system.solver.solve(avg_p_components_w, fan_level, avg_tec)
+        return float(
+            units.k_to_c(t[self.system.nodes.component_slice]).max()
+        )

@@ -1,0 +1,82 @@
+"""Run-level metrics: delay, power, energy, EDP, violation rate.
+
+These are the quantities the paper's evaluation reports:
+
+* **delay** — execution time, normalized to the base scenario (Fig. 6a);
+* **average power** — time-weighted chip power (Fig. 6b);
+* **energy** — the power integral over the run (Fig. 6c);
+* **EDP** — energy-delay product (Gonzalez & Horowitz), Fig. 6(d);
+* **violation rate** — fraction of control intervals whose peak die
+  temperature exceeds the threshold (Fig. 5b; TECfan stays < 0.5%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import EnergyProblem
+from repro.core.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary of one simulated execution."""
+
+    policy: str
+    workload: str
+    fan_level: int
+    execution_time_s: float
+    average_power_w: float
+    energy_j: float
+    peak_temp_c: float
+    violation_rate: float
+    instructions: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product [J s]."""
+        return self.energy_j * self.execution_time_s
+
+    @property
+    def epi(self) -> float:
+        """Average per-instruction energy [J]."""
+        return self.energy_j / self.instructions if self.instructions else np.inf
+
+    def normalized_to(self, base: "RunMetrics") -> dict[str, float]:
+        """Delay/power/energy/EDP relative to ``base`` (Fig. 6 format)."""
+        return {
+            "delay": self.execution_time_s / base.execution_time_s,
+            "power": self.average_power_w / base.average_power_w,
+            "energy": self.energy_j / base.energy_j,
+            "edp": self.edp / base.edp,
+        }
+
+
+def summarize(
+    trace: TraceRecorder,
+    problem: EnergyProblem,
+    policy: str,
+    workload: str,
+    fan_level: int,
+    instructions: float,
+) -> RunMetrics:
+    """Reduce a trace to :class:`RunMetrics`."""
+    peaks = trace.peak_temp_c
+    if len(trace) == 0:
+        raise ValueError("cannot summarize an empty trace")
+    dt = trace.dt_s
+    total_t = float(dt.sum())
+    violating = peaks > (problem.t_threshold_c + problem.violation_margin_c)
+    return RunMetrics(
+        policy=policy,
+        workload=workload,
+        fan_level=fan_level,
+        execution_time_s=total_t,
+        average_power_w=trace.average_power_w(),
+        energy_j=trace.energy_j(),
+        peak_temp_c=float(peaks.max()),
+        violation_rate=float(dt[violating].sum() / total_t),
+        instructions=instructions,
+    )

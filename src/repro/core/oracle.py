@@ -1,0 +1,322 @@
+"""Exhaustive optimizers: Oracle, Oracle-P and OFTEC (paper Sec. V-A/V-E).
+
+* **Oracle** minimizes the full EPI objective (Eq. 13) by enumerating the
+  entire discrete configuration space — per-core TEC banks x per-core
+  DVFS levels x fan levels — and is therefore ``O(M^N 2^{N L})``:
+  exponential, usable only on the 4-core server setup, exactly as the
+  paper argues.
+* **Oracle-P** adds a per-interval performance floor so its delay equals
+  TECfan's ("the exactly same performance degradation", Sec. V-E).
+* **OFTEC** (Dousti & Pedram, DAC'14) pins DVFS at the maximum level and
+  minimizes the *cooling* power (TEC + fan) subject to the temperature
+  constraint, considering the temperature-leakage coupling. The paper
+  runs OFTEC with exhaustive search too ("we make OFTEC do exhaustive
+  search like Oracle"), complexity ``O(2^{N L})``.
+
+Tractability note (documented in DESIGN.md): per-core TECs are ganged
+into ``tec_gangs_per_core`` banks for the exhaustive space — with nine
+independent devices per core even a 4-core space has 2^36 TEC states,
+which no per-interval exhaustive search (the authors' included) can
+enumerate. The heuristic TECfan keeps full per-device control.
+
+Implementation: the search is fully vectorized. For each of the
+``2^(N*gangs) * F`` conductance variants a dense inverse is cached once
+(G never changes within a run); per decision the ``M^N`` DVFS power
+vectors are pushed through all variants with batched matmuls, with two
+temperature-leakage passes (the coupling OFTEC models).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import units
+from repro.core.controller import Controller
+from repro.core.estimator import NextIntervalEstimator
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.exceptions import ConfigurationError, ControlError
+
+
+@dataclass
+class ExhaustiveSearcher(Controller):
+    """Vectorized exhaustive optimizer over (TEC banks, DVFS, fan).
+
+    Parameters
+    ----------
+    objective:
+        ``"epi"`` (Oracle) or ``"cooling"`` (OFTEC).
+    dvfs_exhaustive:
+        Enumerate per-core DVFS levels; ``False`` pins all cores at the
+        top level (OFTEC does not actuate DVFS).
+    tec_gangs_per_core:
+        TEC banks per core in the exhaustive space.
+    perf_floor:
+        Optional per-decision chip-IPS floor series (Oracle-P): the
+        ``k``-th decision must keep IPS >= ``perf_floor[k]``.
+    """
+
+    name: str = "Oracle"
+    objective: str = "epi"
+    dvfs_exhaustive: bool = True
+    tec_gangs_per_core: int = 1
+    perf_floor: np.ndarray | None = None
+    #: Re-optimize every this many decide() calls, holding the last
+    #: configuration in between. The paper's own argument (prohibitive
+    #: search time) applies to the simulation too; re-deciding at the
+    #: fan's time scale loses nothing on the slow-moving server trace.
+    decision_period: int = 10
+    #: Total configurations evaluated (complexity accounting).
+    n_configurations: int = 0
+
+    _inv: np.ndarray = field(default=None, repr=False)  # (K, n, n)
+    _variant_fan: np.ndarray = field(default=None, repr=False)
+    _variant_tec: np.ndarray = field(default=None, repr=False)  # (K, L)
+    _dvfs_space: np.ndarray = field(default=None, repr=False)  # (D, N)
+    _decision_index: int = 0
+    _chosen_fan: int = 1
+    _held: ActuatorState = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("epi", "cooling"):
+            raise ConfigurationError(f"unknown objective {self.objective!r}")
+        if self.tec_gangs_per_core < 1:
+            raise ConfigurationError("need at least one TEC gang per core")
+
+    def reset(self) -> None:
+        self._decision_index = 0
+        self._held = None
+
+    # ------------------------------------------------------------------
+    # Space construction (lazy; G variants cached for the run)
+    # ------------------------------------------------------------------
+    def _gang_devices(self, system) -> list[np.ndarray]:
+        """Device index sets per (core, gang)."""
+        gangs: list[np.ndarray] = []
+        for core in range(system.n_cores):
+            devs = system.tec.tile_devices(core)
+            for part in np.array_split(devs, self.tec_gangs_per_core):
+                gangs.append(part)
+        return gangs
+
+    def _prepare(self, system) -> None:
+        if self._inv is not None:
+            return
+        n_gangs = system.n_cores * self.tec_gangs_per_core
+        if n_gangs > 16:
+            raise ConfigurationError(
+                f"{n_gangs} TEC gangs -> 2^{n_gangs} variants: exhaustive "
+                "search is intractable (that is the paper's point; use a "
+                "smaller platform or fewer gangs)"
+            )
+        gangs = self._gang_devices(system)
+        fan_levels = range(1, system.fan.n_levels + 1)
+        invs = []
+        v_fan = []
+        v_tec = []
+        for bits in itertools.product((0.0, 1.0), repeat=n_gangs):
+            tec = np.zeros(system.n_tec_devices)
+            for g, on in enumerate(bits):
+                if on:
+                    tec[gangs[g]] = 1.0
+            for fan in fan_levels:
+                g_dense = system.cond.matrix(fan, tec).toarray()
+                invs.append(np.linalg.inv(g_dense))
+                v_fan.append(fan)
+                v_tec.append(tec)
+        self._inv = np.stack(invs)
+        self._variant_fan = np.asarray(v_fan, dtype=int)
+        self._variant_tec = np.stack(v_tec)
+
+        m = system.dvfs.n_levels
+        if self.dvfs_exhaustive:
+            self._dvfs_space = np.array(
+                list(itertools.product(range(m), repeat=system.n_cores)),
+                dtype=int,
+            )
+        else:
+            self._dvfs_space = np.full(
+                (1, system.n_cores), system.dvfs.max_level, dtype=int
+            )
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        state: ActuatorState,
+        sensor_temps_c: np.ndarray,
+        estimator: NextIntervalEstimator,
+        problem: EnergyProblem,
+    ) -> ActuatorState:
+        call = self._decision_index
+        self._decision_index += 1
+        if call % self.decision_period != 0 and self._held is not None:
+            return self._held
+        system = estimator.system
+        self._prepare(system)
+        nodes = system.nodes
+        n_nodes = nodes.n_nodes
+        comp = nodes.component_slice
+        tile_of = system.chip.tile_of()
+
+        # Batched dynamic power: Eq. (7) ratios from the last measured
+        # interval (same information TECfan gets).
+        tracker = estimator.dyn_tracker
+        if not tracker.ready:
+            return state
+        levels = self._dvfs_space  # (D, N)
+        d_count = levels.shape[0]
+        ratio = system.dvfs.dynamic_ratio(
+            tracker._levels_prev[None, :], levels
+        )  # (D, N)
+        comp_ratio = ratio[:, tile_of]
+        if tracker.core_domain is not None:
+            comp_ratio = np.where(
+                tracker.core_domain[None, :], comp_ratio, 1.0
+            )
+        p_dyn = tracker._p_prev[None, :] * comp_ratio  # (D, ncomp)
+
+        t_meas_k = units.c_to_k(np.asarray(sensor_temps_c, dtype=float))
+        leak0 = system.power.controller_leakage.per_component_w(t_meas_k)
+
+        ips = estimator.ips_predictor.predict_chip_batch(levels)  # (D,)
+        if self.perf_floor is not None:
+            k = min(call, len(self.perf_floor) - 1)
+            # Cap at what is achievable under the *current* demand — the
+            # reference trace's timing can differ by an interval.
+            floor = min(float(self.perf_floor[k]), float(ips.max()))
+        else:
+            floor = None
+
+        fan_power = system.fan.power_table()  # index 0 = level 1
+        th_k = units.c_to_k(problem.t_threshold_c)
+
+        best = None  # (objective, k_variant, d_index, tec_power)
+        best_fallback = None  # least-peak fallback when infeasible
+        n_variants = self._inv.shape[0]
+        self.n_configurations += n_variants * d_count
+
+        # RHS pieces independent of DVFS, per variant.
+        for k in range(n_variants):
+            fan = int(self._variant_fan[k])
+            tec = self._variant_tec[k]
+            inv = self._inv[k]
+            rhs_const = system.cond.rhs(np.zeros(nodes.n_components), fan, tec)
+
+            rhs = np.zeros((d_count, n_nodes))
+            rhs[:, comp] = p_dyn + leak0[None, :]
+            rhs += rhs_const[None, :]
+            t1 = rhs @ inv.T  # (D, n_nodes)
+            # Second temperature-leakage pass (OFTEC's coupling),
+            # broadcast over the DVFS batch.
+            lk = system.power.controller_leakage
+            frac = lk.areas_mm2 / lk.chip_area_mm2
+            leak1 = (
+                np.clip(
+                    lk.p_tdp_leak_w
+                    + lk.alpha_w_per_k * (t1[:, comp] - lk.t_tdp_k),
+                    0.0,
+                    None,
+                )
+                * frac[None, :]
+            )
+            rhs[:, comp] = p_dyn + leak1
+            t2 = rhs @ inv.T
+
+            peak_k = t2[:, comp].max(axis=1)  # (D,)
+            feasible = peak_k <= th_k
+            if floor is not None:
+                feasible &= ips >= floor * (1.0 - 1e-9)
+
+            # TEC electrical power (Eq. 9) per DVFS config.
+            t_cold = (
+                t2[:, comp] @ _cold_weights(system).T
+            )  # (D, n_dev)
+            t_hot = t2[:, nodes.n_components + system.tec.device_tile]
+            p_tec = (
+                tec[None, :]
+                * (
+                    system.tec.joule_w
+                    + system.tec.alpha_i * (t_hot - t_cold)
+                )
+            ).sum(axis=1)
+
+            if self.objective == "cooling":
+                obj = p_tec + fan_power[fan - 1]
+            else:
+                p_chip = (
+                    p_dyn.sum(axis=1)
+                    + leak1.sum(axis=1)
+                    + p_tec
+                    + fan_power[fan - 1]
+                )
+                with np.errstate(divide="ignore"):
+                    obj = np.where(ips > 0, p_chip / np.maximum(ips, 1e-9),
+                                   np.inf)
+
+            if np.any(feasible):
+                d_best = int(np.argmin(np.where(feasible, obj, np.inf)))
+                cand = (float(obj[d_best]), k, d_best)
+                if best is None or cand[0] < best[0]:
+                    best = cand
+            d_cool = int(np.argmin(peak_k))
+            fb = (float(peak_k[d_cool]), k, d_cool)
+            if best_fallback is None or fb[0] < best_fallback[0]:
+                best_fallback = fb
+
+        if best is None:
+            _, k, d = best_fallback  # thermally safest configuration
+        else:
+            _, k, d = best
+        self._chosen_fan = int(self._variant_fan[k])
+        self._held = ActuatorState(
+            tec=self._variant_tec[k].copy(),
+            dvfs=self._dvfs_space[d].copy(),
+            fan_level=self._chosen_fan,
+        )
+        return self._held
+
+    def decide_fan(
+        self,
+        state: ActuatorState,
+        avg_p_components_w: np.ndarray,
+        avg_tec: np.ndarray,
+        estimator: NextIntervalEstimator,
+        problem: EnergyProblem,
+    ) -> int:
+        """The exhaustive search already chose the fan jointly."""
+        return self._chosen_fan
+
+
+_COLD_W_CACHE: dict = {}
+
+
+def _cold_weights(system) -> np.ndarray:
+    """(n_dev, n_comp) footprint-weight matrix for cold-side temps."""
+    key = id(system.tec)
+    w = _COLD_W_CACHE.get(key)
+    if w is None:
+        tec = system.tec
+        w = np.zeros((tec.n_devices, system.nodes.n_components))
+        w[tec.coo_device, tec.coo_component] = tec.coo_weight
+        _COLD_W_CACHE[key] = w
+    return w
+
+
+def make_oracle(perf_floor: np.ndarray | None = None) -> ExhaustiveSearcher:
+    """The paper's Oracle (or Oracle-P when ``perf_floor`` is given)."""
+    return ExhaustiveSearcher(
+        name="Oracle-P" if perf_floor is not None else "Oracle",
+        objective="epi",
+        dvfs_exhaustive=True,
+        perf_floor=perf_floor,
+    )
+
+
+def make_oftec() -> ExhaustiveSearcher:
+    """OFTEC: exhaustive cooling-power minimization, DVFS pinned."""
+    return ExhaustiveSearcher(
+        name="OFTEC", objective="cooling", dvfs_exhaustive=False
+    )

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` (TECfan) package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the package's failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan is geometrically or topologically invalid."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal network is ill-posed (singular G, negative C, ...)."""
+
+
+class ConvergenceError(ThermalModelError):
+    """An iterative solve (e.g. the leakage-temperature loop) failed to
+    converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ConfigurationError(ReproError):
+    """An actuator or simulation configuration is out of range."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or trace is malformed."""
+
+
+class ControlError(ReproError):
+    """A controller was asked to operate on an inconsistent state."""

@@ -1,0 +1,45 @@
+"""Chip floorplans: component geometry, core tiles, tile arrays.
+
+Public API
+----------
+- :class:`~repro.floorplan.component.Component`,
+  :class:`~repro.floorplan.component.ComponentCategory`,
+  :class:`~repro.floorplan.component.ComponentSpec`
+- :data:`~repro.floorplan.core_tile.CORE_TILE_SPECS` — the paper's
+  18-component Alpha-21264-style tile
+- :func:`~repro.floorplan.chip.build_chip` /
+  :class:`~repro.floorplan.chip.ChipFloorplan`
+- :func:`~repro.floorplan.validate.validate_floorplan`
+"""
+
+from repro.floorplan.component import (
+    Component,
+    ComponentCategory,
+    ComponentSpec,
+)
+from repro.floorplan.core_tile import (
+    COMPONENT_NAMES,
+    COMPONENTS_PER_TILE,
+    CORE_TILE_SPECS,
+    TILE_HEIGHT_MM,
+    TILE_WIDTH_MM,
+    tile_area_mm2,
+)
+from repro.floorplan.chip import Adjacency, ChipFloorplan, build_chip
+from repro.floorplan.validate import validate_floorplan
+
+__all__ = [
+    "Component",
+    "ComponentCategory",
+    "ComponentSpec",
+    "COMPONENT_NAMES",
+    "COMPONENTS_PER_TILE",
+    "CORE_TILE_SPECS",
+    "TILE_WIDTH_MM",
+    "TILE_HEIGHT_MM",
+    "tile_area_mm2",
+    "Adjacency",
+    "ChipFloorplan",
+    "build_chip",
+    "validate_floorplan",
+]

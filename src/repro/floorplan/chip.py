@@ -1,0 +1,213 @@
+"""Chip-level floorplan: a grid of core tiles (Intel SCC-style).
+
+The paper's 16-core target is a 4 x 4 array of 2.6 mm x 3.6 mm tiles,
+giving a 10.4 mm x 14.4 mm die (Sec. III-E, Fig. 3). The 4-core server
+setup of Sec. V-E uses a 2 x 2 array built with the same machinery.
+
+Besides geometry, :class:`ChipFloorplan` precomputes everything the
+thermal network assembly needs:
+
+* the flat component list (tile-major order) and name -> index map,
+* the lateral adjacency list with shared edge lengths and centroid
+  distances (computed across tile boundaries too, so heat spreads between
+  neighbouring cores),
+* per-tile component index slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FloorplanError
+from repro.floorplan.component import Component, ComponentSpec
+from repro.floorplan.core_tile import (
+    CORE_TILE_SPECS,
+    TILE_HEIGHT_MM,
+    TILE_WIDTH_MM,
+)
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """One lateral thermal contact between two components."""
+
+    i: int  # flat component index
+    j: int  # flat component index, j > i
+    shared_edge_mm: float
+    center_distance_mm: float
+
+
+@dataclass
+class ChipFloorplan:
+    """A rows x cols array of core tiles.
+
+    Use :func:`build_chip` to construct one; the constructor assumes the
+    component list is already consistent.
+    """
+
+    rows: int
+    cols: int
+    tile_width_mm: float
+    tile_height_mm: float
+    components: list[Component]
+    adjacencies: list[Adjacency] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_tiles(self) -> int:
+        """Number of core tiles on the chip."""
+        return self.rows * self.cols
+
+    @property
+    def n_components(self) -> int:
+        """Number of thermally-modelled die components."""
+        return len(self.components)
+
+    @property
+    def components_per_tile(self) -> int:
+        """Components per tile (the paper's 18)."""
+        return self.n_components // self.n_tiles
+
+    @property
+    def chip_width_mm(self) -> float:
+        """Die width [mm]."""
+        return self.cols * self.tile_width_mm
+
+    @property
+    def chip_height_mm(self) -> float:
+        """Die height [mm]."""
+        return self.rows * self.tile_height_mm
+
+    @property
+    def chip_area_mm2(self) -> float:
+        """Die area [mm^2]."""
+        return self.chip_width_mm * self.chip_height_mm
+
+    def tile_origin(self, tile: int) -> tuple[float, float]:
+        """Lower-left corner [mm] of tile ``tile`` (row-major numbering)."""
+        r, c = divmod(tile, self.cols)
+        return c * self.tile_width_mm, r * self.tile_height_mm
+
+    def tile_bounds(self, tile: int) -> tuple[float, float, float, float]:
+        """(x, y, x2, y2) bounds [mm] of tile ``tile``."""
+        x, y = self.tile_origin(tile)
+        return x, y, x + self.tile_width_mm, y + self.tile_height_mm
+
+    def tile_slice(self, tile: int) -> slice:
+        """Flat-index slice of the components belonging to ``tile``."""
+        per = self.components_per_tile
+        return slice(tile * per, (tile + 1) * per)
+
+    def tile_neighbours(self, tile: int) -> list[int]:
+        """Indices of tiles sharing an edge with ``tile`` in the grid."""
+        r, c = divmod(tile, self.cols)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            rr, cc = r + dr, c + dc
+            if 0 <= rr < self.rows and 0 <= cc < self.cols:
+                out.append(rr * self.cols + cc)
+        return out
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def index_of(self, name: str) -> int:
+        """Flat index of the component called ``name``."""
+        try:
+            return self._name_index[name]
+        except AttributeError:
+            object.__setattr__(
+                self,
+                "_name_index",
+                {comp.name: i for i, comp in enumerate(self.components)},
+            )
+            return self._name_index[name]
+
+    def areas_mm2(self) -> np.ndarray:
+        """Vector of component areas [mm^2], flat order."""
+        return np.array([c.area_mm2 for c in self.components])
+
+    def power_weights(self) -> np.ndarray:
+        """Vector of relative dynamic power-density weights, flat order."""
+        return np.asarray(self._power_weights, dtype=float)
+
+    def tile_of(self) -> np.ndarray:
+        """Vector mapping each flat component index to its tile index."""
+        return np.array([c.tile for c in self.components], dtype=np.intp)
+
+    # internal: filled by build_chip
+    _power_weights: list[float] = field(default_factory=list, repr=False)
+
+
+def _compute_adjacencies(components: list[Component]) -> list[Adjacency]:
+    """All pairs of components sharing an edge of positive length.
+
+    O(n^2) over a few hundred rectangles — negligible, and only done once
+    at floorplan construction.
+    """
+    adj: list[Adjacency] = []
+    n = len(components)
+    for i in range(n):
+        ci = components[i]
+        for j in range(i + 1, n):
+            cj = components[j]
+            edge = ci.shared_edge_length(cj)
+            if edge > 0.0:
+                adj.append(Adjacency(i, j, edge, ci.center_distance(cj)))
+    return adj
+
+
+def build_chip(
+    rows: int = 4,
+    cols: int = 4,
+    tile_specs: tuple[ComponentSpec, ...] = CORE_TILE_SPECS,
+    tile_width_mm: float = TILE_WIDTH_MM,
+    tile_height_mm: float = TILE_HEIGHT_MM,
+) -> ChipFloorplan:
+    """Instantiate a chip floorplan from per-tile component specs.
+
+    Parameters
+    ----------
+    rows, cols:
+        Tile grid shape. The paper's main target is 4 x 4; the server
+        comparison (Sec. V-E) uses 2 x 2.
+    tile_specs:
+        Tile-local component placement, defaulting to the 18-component
+        Alpha-21264-style tile.
+    """
+    if rows < 1 or cols < 1:
+        raise FloorplanError(f"invalid tile grid {rows} x {cols}")
+
+    components: list[Component] = []
+    weights: list[float] = []
+    for tile in range(rows * cols):
+        r, c = divmod(tile, cols)
+        ox, oy = c * tile_width_mm, r * tile_height_mm
+        for spec in tile_specs:
+            components.append(
+                Component(
+                    name=f"tile{tile}.{spec.name}",
+                    x=ox + spec.x,
+                    y=oy + spec.y,
+                    width=spec.width,
+                    height=spec.height,
+                    category=spec.category,
+                    tile=tile,
+                )
+            )
+            weights.append(spec.power_weight)
+
+    chip = ChipFloorplan(
+        rows=rows,
+        cols=cols,
+        tile_width_mm=tile_width_mm,
+        tile_height_mm=tile_height_mm,
+        components=components,
+    )
+    chip._power_weights = weights
+    chip.adjacencies = _compute_adjacencies(components)
+    return chip

@@ -1,0 +1,140 @@
+"""Floorplan primitives: axis-aligned rectangular components.
+
+A :class:`Component` is one thermally-lumped block on the die (an adder,
+a cache bank, a router, ...). Geometry is kept in millimetres, matching
+the dimensions published for the Intel SCC tile and the Alpha 21264
+floorplan the paper bases its core tile on (Sec. IV-A, Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import FloorplanError
+
+#: Geometric tolerance [mm] used when testing adjacency / containment.
+GEOM_EPS: float = 1e-9
+
+
+class ComponentCategory(enum.Enum):
+    """Coarse functional category, used to assign power-density weights."""
+
+    INT_LOGIC = "int_logic"  # integer execution / registers / queues
+    FP_LOGIC = "fp_logic"  # floating point units
+    FETCH = "fetch"  # branch predictor, TLBs, mappers
+    L1_CACHE = "l1_cache"
+    L2_CACHE = "l2_cache"
+    ROUTER = "router"
+    REGULATOR = "regulator"  # on-chip voltage regulator (quasi-parallel VR)
+
+
+@dataclass(frozen=True)
+class Component:
+    """One rectangular floorplan block.
+
+    Parameters
+    ----------
+    name:
+        Unique (per chip) identifier, e.g. ``"tile5.IntExec"``.
+    x, y:
+        Lower-left corner in chip coordinates [mm].
+    width, height:
+        Rectangle extents [mm]; must be strictly positive.
+    category:
+        Functional category used by the power model.
+    tile:
+        Index of the core tile this component belongs to.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+    category: ComponentCategory
+    tile: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise FloorplanError(
+                f"component {self.name!r} has non-positive size "
+                f"{self.width} x {self.height}"
+            )
+
+    @property
+    def area_mm2(self) -> float:
+        """Component area [mm^2]."""
+        return self.width * self.height
+
+    @property
+    def x2(self) -> float:
+        """Right edge [mm]."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge [mm]."""
+        return self.y + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Rectangle centroid [mm]."""
+        return (self.x + 0.5 * self.width, self.y + 0.5 * self.height)
+
+    def shared_edge_length(self, other: "Component") -> float:
+        """Length [mm] of the boundary segment shared with ``other``.
+
+        Two rectangles are thermally adjacent when they touch along a
+        segment of positive length (corner contact does not count).
+        """
+        # Vertical contact: our right edge on their left edge (or vice versa)
+        if (
+            abs(self.x2 - other.x) < GEOM_EPS
+            or abs(other.x2 - self.x) < GEOM_EPS
+        ):
+            overlap = min(self.y2, other.y2) - max(self.y, other.y)
+            if overlap > GEOM_EPS:
+                return overlap
+        # Horizontal contact
+        if (
+            abs(self.y2 - other.y) < GEOM_EPS
+            or abs(other.y2 - self.y) < GEOM_EPS
+        ):
+            overlap = min(self.x2, other.x2) - max(self.x, other.x)
+            if overlap > GEOM_EPS:
+                return overlap
+        return 0.0
+
+    def overlap_area(self, x: float, y: float, x2: float, y2: float) -> float:
+        """Area [mm^2] of intersection with the rectangle (x, y)-(x2, y2)."""
+        w = min(self.x2, x2) - max(self.x, x)
+        h = min(self.y2, y2) - max(self.y, y)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def center_distance(self, other: "Component") -> float:
+        """Euclidean centroid distance [mm]."""
+        cx, cy = self.center
+        ox, oy = other.center
+        return ((cx - ox) ** 2 + (cy - oy) ** 2) ** 0.5
+
+
+@dataclass
+class ComponentSpec:
+    """Relative placement of a component inside one core tile.
+
+    Coordinates are tile-local [mm]; :func:`repro.floorplan.chip.build_chip`
+    translates these into chip coordinates for each tile.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+    category: ComponentCategory
+    #: Relative dynamic power-density weight (dimensionless). Calibration
+    #: normalizes these so the full-chip peak power matches the target.
+    power_weight: float = field(default=1.0)

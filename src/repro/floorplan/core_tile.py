@@ -1,0 +1,77 @@
+"""The 18-component core tile used throughout the paper (Fig. 3).
+
+The tile is 2.6 mm x 3.6 mm — half of the dual-core tile on the Intel
+Single-chip Cloud Computer — and its component placement and relative
+sizes follow the Alpha 21264 floorplan, exactly the combination the paper
+describes in Sec. IV-A. The private 256 KB L2 and the NoC router occupy
+the bottom of the tile; the quasi-parallel on-chip voltage regulator is a
+block of its own (Sec. IV-A budgets 2.2 mm^2 for it; our slightly smaller
+block reflects the off-/on-chip hybrid design delivering only part of the
+power on-die).
+
+Every row spans the full 2.6 mm tile width, so the 18 rectangles tile the
+core exactly: :func:`repro.floorplan.validate.validate_floorplan` asserts
+full coverage with no overlap.
+"""
+
+from __future__ import annotations
+
+from repro.floorplan.component import ComponentCategory, ComponentSpec
+
+#: Core tile width [mm] (Sec. IV-A / Fig. 3).
+TILE_WIDTH_MM: float = 2.6
+
+#: Core tile height [mm].
+TILE_HEIGHT_MM: float = 3.6
+
+# Tile-local placement. Rows bottom-to-top; each row spans the tile width.
+# power_weight is the relative dynamic power *density* of the block; the
+# calibration pass (repro.power.calibration) scales absolute powers so the
+# all-cores-peak chip power matches the SCC-derived target.
+_C = ComponentCategory
+CORE_TILE_SPECS: tuple[ComponentSpec, ...] = (
+    # --- bottom: NoC router -------------------------------------------------
+    ComponentSpec("Router", 0.00, 0.00, 2.60, 0.55, _C.ROUTER, 0.90),
+    # --- private L2 ---------------------------------------------------------
+    ComponentSpec("L2", 0.00, 0.55, 2.60, 0.75, _C.L2_CACHE, 0.35),
+    # --- L1 caches + on-chip voltage regulator ------------------------------
+    ComponentSpec("Icache", 0.00, 1.30, 1.20, 0.65, _C.L1_CACHE, 1.00),
+    ComponentSpec("Dcache", 1.20, 1.30, 0.90, 0.65, _C.L1_CACHE, 1.10),
+    ComponentSpec("VReg", 2.10, 1.30, 0.50, 0.65, _C.REGULATOR, 0.70),
+    # --- front-end / FP add row ---------------------------------------------
+    ComponentSpec("FPAdd", 0.00, 1.95, 0.80, 0.40, _C.FP_LOGIC, 1.50),
+    ComponentSpec("Bpred", 0.80, 1.95, 0.70, 0.40, _C.FETCH, 1.60),
+    ComponentSpec("ITB", 1.50, 1.95, 0.55, 0.40, _C.FETCH, 1.50),
+    ComponentSpec("DTB", 2.05, 1.95, 0.55, 0.40, _C.FETCH, 1.50),
+    # --- execution row -------------------------------------------------------
+    ComponentSpec("FPReg", 0.00, 2.35, 0.70, 0.50, _C.FP_LOGIC, 1.40),
+    ComponentSpec("FP_Q", 0.70, 2.35, 0.60, 0.50, _C.FP_LOGIC, 1.30),
+    ComponentSpec("LdSt_Q", 1.30, 2.35, 0.60, 0.50, _C.INT_LOGIC, 2.20),
+    ComponentSpec("IntExec", 1.90, 2.35, 0.70, 0.50, _C.INT_LOGIC, 3.00),
+    # --- FP multiplier strip -------------------------------------------------
+    ComponentSpec("FPMul", 0.00, 2.85, 2.60, 0.25, _C.FP_LOGIC, 1.60),
+    # --- top: rename / issue -------------------------------------------------
+    ComponentSpec("FPMap", 0.00, 3.10, 0.55, 0.50, _C.FP_LOGIC, 1.20),
+    ComponentSpec("IntMap", 0.55, 3.10, 0.55, 0.50, _C.INT_LOGIC, 1.80),
+    ComponentSpec("Int_Q", 1.10, 3.10, 0.55, 0.50, _C.INT_LOGIC, 2.00),
+    ComponentSpec("IntReg", 1.65, 3.10, 0.95, 0.50, _C.INT_LOGIC, 2.60),
+)
+
+#: Number of thermally-modelled components per core tile (paper: 18).
+COMPONENTS_PER_TILE: int = len(CORE_TILE_SPECS)
+
+#: Component names in tile order, for quick index lookups.
+COMPONENT_NAMES: tuple[str, ...] = tuple(s.name for s in CORE_TILE_SPECS)
+
+
+def tile_area_mm2() -> float:
+    """Total tile area [mm^2] (should equal 2.6 x 3.6 = 9.36)."""
+    return sum(s.width * s.height for s in CORE_TILE_SPECS)
+
+
+def spec_by_name(name: str) -> ComponentSpec:
+    """Return the tile-local spec for ``name`` (raises ``KeyError``)."""
+    for spec in CORE_TILE_SPECS:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)

@@ -1,0 +1,74 @@
+"""Floorplan consistency checks.
+
+A thermal RC network built from a floorplan with overlaps or coverage
+holes silently mis-assigns conductances, so we validate geometry eagerly.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FloorplanError
+from repro.floorplan.chip import ChipFloorplan
+
+#: Relative tolerance on area bookkeeping.
+_AREA_RTOL = 1e-9
+
+
+def validate_floorplan(chip: ChipFloorplan) -> None:
+    """Raise :class:`FloorplanError` unless the floorplan is sound.
+
+    Checks:
+
+    1. every component lies inside its tile's bounds;
+    2. no two components overlap (pairwise intersection area is zero);
+    3. the component areas of each tile sum to the full tile area
+       (no coverage holes);
+    4. every component has at least one lateral neighbour (the network
+       would otherwise contain a laterally isolated node);
+    5. component names are unique.
+    """
+    names = [c.name for c in chip.components]
+    if len(set(names)) != len(names):
+        raise FloorplanError("duplicate component names in floorplan")
+
+    for comp in chip.components:
+        x, y, x2, y2 = chip.tile_bounds(comp.tile)
+        eps = 1e-9
+        if not (
+            comp.x >= x - eps
+            and comp.y >= y - eps
+            and comp.x2 <= x2 + eps
+            and comp.y2 <= y2 + eps
+        ):
+            raise FloorplanError(
+                f"component {comp.name!r} escapes tile {comp.tile} bounds"
+            )
+
+    n = chip.n_components
+    comps = chip.components
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = comps[i]
+            b = comps[j]
+            if a.overlap_area(b.x, b.y, b.x2, b.y2) > 1e-12:
+                raise FloorplanError(
+                    f"components {a.name!r} and {b.name!r} overlap"
+                )
+
+    tile_area = chip.tile_width_mm * chip.tile_height_mm
+    for tile in range(chip.n_tiles):
+        s = chip.tile_slice(tile)
+        covered = sum(c.area_mm2 for c in comps[s])
+        if abs(covered - tile_area) > _AREA_RTOL * tile_area + 1e-9:
+            raise FloorplanError(
+                f"tile {tile} covered area {covered:.6f} mm^2 != "
+                f"tile area {tile_area:.6f} mm^2"
+            )
+
+    touched = set()
+    for adj in chip.adjacencies:
+        touched.add(adj.i)
+        touched.add(adj.j)
+    missing = set(range(n)) - touched
+    if missing:
+        isolated = ", ".join(comps[i].name for i in sorted(missing))
+        raise FloorplanError(f"laterally isolated components: {isolated}")

@@ -1,0 +1,41 @@
+"""Performance substrate: IPS models and calibrated workloads.
+
+Public API
+----------
+- :class:`~repro.perf.ips.IPSTracker` — Eq. (10-11) on-line estimator
+- :class:`~repro.perf.workload.Workload` /
+  :class:`~repro.perf.workload.WorkloadRun` / :class:`~repro.perf.workload.Phase`
+- :func:`~repro.perf.splash2.splash2_workload` and the Table I targets
+"""
+
+from repro.perf.ips import IPSTracker
+from repro.perf.splash2 import (
+    BENCHMARKS,
+    FIGURE_CASES,
+    FOUR_THREAD_TILES,
+    REF_FREQ_GHZ,
+    TABLE1_CASES,
+    TABLE1_TARGETS,
+    Table1Row,
+    component_profile,
+    splash2_workload,
+    table1_row,
+)
+from repro.perf.workload import Phase, Workload, WorkloadRun
+
+__all__ = [
+    "IPSTracker",
+    "BENCHMARKS",
+    "FIGURE_CASES",
+    "FOUR_THREAD_TILES",
+    "REF_FREQ_GHZ",
+    "TABLE1_CASES",
+    "TABLE1_TARGETS",
+    "Table1Row",
+    "component_profile",
+    "splash2_workload",
+    "table1_row",
+    "Phase",
+    "Workload",
+    "WorkloadRun",
+]

@@ -1,0 +1,297 @@
+"""Synthetic SPLASH-2 suite calibrated to the paper's Table I.
+
+The paper runs cholesky, fmm, volrend, water and lu under SESC with 16 or
+4 threads on the 16-core CMP (16-thread water and 4-thread volrend
+suspend before completing, so Table I — and we — report the other eight
+rows). We cannot run SESC; instead, each benchmark is summarized by the
+observables the control stack consumes — IPC, activity, per-component
+utilization shape, phase structure — with values chosen so the **base
+scenario** (max DVFS, max fan, TECs off) reproduces Table I's execution
+time, average power and peak temperature.
+
+``TABLE1_TARGETS`` stores the published rows; the test suite and
+``benchmarks/bench_table1.py`` compare our regenerated base scenario
+against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.floorplan.chip import ChipFloorplan
+from repro.floorplan.component import ComponentCategory
+from repro.perf.workload import Phase, Workload
+
+#: Reference frequency for IPC calibration [GHz] (SCC_DVFS top level).
+REF_FREQ_GHZ: float = 2.0
+
+#: Tiles hosting the 4-thread runs (central 2x2 block of the 4x4 array,
+#: which concentrates heat the way a scheduler packing threads would).
+FOUR_THREAD_TILES: tuple[int, ...] = (5, 6, 9, 10)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One published row of the paper's Table I (base scenario)."""
+
+    workload: str
+    input_file: str
+    ff_inst: int
+    threads: int
+    instructions: int
+    time_ms: float
+    power_w: float
+    peak_temp_c: float
+
+
+#: Table I of the paper, verbatim.
+TABLE1_TARGETS: tuple[Table1Row, ...] = (
+    Table1Row("cholesky", "tk29.0", 200_000_000, 16, 1_000_000_000, 48.0, 125.9, 90.07),
+    Table1Row("cholesky", "tk29.0", 200_000_000, 4, 250_000_000, 57.2, 42.0, 74.8),
+    Table1Row("fmm", "fmm.in", 300_000_000, 16, 1_000_000_000, 59.68, 74.9, 69.69),
+    Table1Row("fmm", "fmm.in", 300_000_000, 4, 250_000_000, 72.66, 32.5, 62.15),
+    Table1Row("volrend", "head", 300_000_000, 16, 800_000_000, 41.42, 85.4, 71.79),
+    Table1Row("water", "water.in", 300_000_000, 4, 250_000_000, 38.1, 43.7, 68.7),
+    Table1Row("lu", "no input", 300_000_000, 16, 400_000_000, 20.34, 109.9, 84.49),
+    Table1Row("lu", "no input", 300_000_000, 4, 100_000_000, 19.6, 42.1, 70.75),
+)
+
+
+def table1_row(workload: str, threads: int) -> Table1Row:
+    """Published Table I row for ``(workload, threads)``."""
+    for row in TABLE1_TARGETS:
+        if row.workload == workload and row.threads == threads:
+            return row
+    raise WorkloadError(f"no Table I row for {workload}/{threads}t")
+
+
+# ---------------------------------------------------------------------------
+# Calibrated behavioural parameters
+# ---------------------------------------------------------------------------
+# ipc: per-core committed IPC at 2 GHz, from Table I's inst/time.
+# activity: per-tile dynamic activity, from Table I's power after
+#   subtracting the leakage estimate at the reported temperature.
+# category multipliers shape *where* the dynamic power lands; "uniform"
+# flattens power density (the paper singles volrend out as having a
+# relatively uniform power-density distribution).
+_C = ComponentCategory
+_PROFILES: dict[str, dict] = {
+    "cholesky": {
+        "mults": {
+            _C.FP_LOGIC: 1.30, _C.INT_LOGIC: 1.00, _C.FETCH: 0.90,
+            _C.L1_CACHE: 1.10, _C.L2_CACHE: 1.20, _C.ROUTER: 1.10,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        "contrast": 0.900,
+    },
+    "cholesky:4": {
+        "mults": {
+            _C.FP_LOGIC: 1.30, _C.INT_LOGIC: 1.00, _C.FETCH: 0.90,
+            _C.L1_CACHE: 1.10, _C.L2_CACHE: 1.20, _C.ROUTER: 1.10,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        # The 4-thread run is anomalously hot for its 42 W (Table I);
+        # with fewer threads sharing the working set the integer core
+        # stays far busier per instruction.
+        "contrast": 1.574,
+    },
+    "fmm": {
+        "mults": {
+            _C.FP_LOGIC: 1.50, _C.INT_LOGIC: 0.80, _C.FETCH: 0.90,
+            _C.L1_CACHE: 0.90, _C.L2_CACHE: 0.80, _C.ROUTER: 1.20,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        "contrast": 1.330,
+    },
+    "fmm:4": {
+        "mults": {
+            _C.FP_LOGIC: 1.50, _C.INT_LOGIC: 0.80, _C.FETCH: 0.90,
+            _C.L1_CACHE: 0.90, _C.L2_CACHE: 0.80, _C.ROUTER: 1.20,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        "contrast": 2.052,
+    },
+    # The paper singles volrend out as having high power but a
+    # "relatively uniform power density distribution"; ``uniformity``
+    # blends the floorplan-flattening profile with the nominal one.
+    "volrend": {"mults": {}, "uniformity": 0.65, "contrast": 1.522},
+    "water": {
+        "mults": {
+            _C.FP_LOGIC: 1.40, _C.INT_LOGIC: 0.90, _C.FETCH: 1.00,
+            _C.L1_CACHE: 1.00, _C.L2_CACHE: 0.80, _C.ROUTER: 0.90,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        "contrast": 0.434,
+    },
+    "lu": {
+        "mults": {
+            _C.FP_LOGIC: 1.10, _C.INT_LOGIC: 1.30, _C.FETCH: 1.00,
+            _C.L1_CACHE: 1.00, _C.L2_CACHE: 0.90, _C.ROUTER: 1.00,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        "contrast": 0.724,
+    },
+    "lu:4": {
+        "mults": {
+            _C.FP_LOGIC: 1.10, _C.INT_LOGIC: 1.30, _C.FETCH: 1.00,
+            _C.L1_CACHE: 1.00, _C.L2_CACHE: 0.90, _C.ROUTER: 1.00,
+            _C.REGULATOR: 1.00,
+        },
+        "uniformity": 0.0,
+        "contrast": 0.668,
+    },
+}
+
+# (ipc_at_2GHz, activity) per (workload, threads): calibrated against
+# Table I (see tests/test_table1_calibration.py for the check).
+_BEHAVIOUR: dict[tuple[str, int], tuple[float, float]] = {
+    ("cholesky", 16): (0.651, 0.908),
+    ("cholesky", 4): (0.546, 0.778),
+    ("fmm", 16): (0.524, 0.489),
+    ("fmm", 4): (0.430, 0.449),
+    ("volrend", 16): (0.604, 0.575),
+    ("water", 4): (0.820, 0.836),
+    ("lu", 16): (0.615, 0.782),
+    ("lu", 4): (0.638, 0.782),
+}
+
+# Relative load-imbalance spread per benchmark: thread weights are
+# 1 +/- spread (linspace), permuted so laggards scatter across the die.
+# SPLASH-2's cholesky (supernode elimination), lu (2D blocks) and
+# volrend (view-dependent rays) are markedly imbalanced; fmm and water
+# are near-balanced. Threads that finish early spin at the barrier —
+# the power TECfan's performance-neutral DVFS decreases recover.
+_IMBALANCE: dict[str, float] = {
+    "cholesky": 0.40,
+    "fmm": 0.15,
+    "volrend": 0.30,
+    "water": 0.12,
+    "lu": 0.35,
+}
+
+#: Deterministic permutation pattern scattering slow threads spatially.
+_WEIGHT_PERMUTATION_STRIDE: int = 5
+
+
+def thread_weights(name: str, threads: int) -> tuple[float, ...]:
+    """Normalized (mean 1) per-thread instruction-share weights."""
+    spread = _IMBALANCE[name]
+    base = 1.0 + spread * np.linspace(-1.0, 1.0, threads)
+    # Fixed stride permutation: deterministic, spatially scattered.
+    order = [(i * _WEIGHT_PERMUTATION_STRIDE) % threads for i in range(threads)]
+    if len(set(order)) != threads:  # stride shares a factor with threads
+        order = list(range(threads))
+    w = base[order]
+    return tuple(float(x) for x in w / w.mean())
+
+
+# Mild temporal variation so transient traces (Fig. 4) show structure.
+# Amplitudes are a few percent: SPLASH-2 kernels are phase-stable, and
+# the Eq. (7) one-interval-lag estimator (like the paper's) can only
+# track gradual activity drift.
+_PHASES: dict[str, tuple[Phase, ...]] = {
+    "cholesky": (Phase(0.25, 1.00), Phase(0.35, 1.03), Phase(0.25, 0.96),
+                 Phase(0.15, 1.01)),
+    "fmm": (Phase(0.30, 0.975), Phase(0.40, 1.035), Phase(0.30, 0.985)),
+    "volrend": (Phase(0.50, 1.02), Phase(0.50, 0.98)),
+    "water": (Phase(0.40, 1.00), Phase(0.30, 0.975), Phase(0.30, 1.00)),
+    "lu": (Phase(0.20, 0.97), Phase(0.60, 1.025), Phase(0.20, 0.97)),
+}
+
+#: Benchmarks in Table I order without duplicates.
+BENCHMARKS: tuple[str, ...] = ("cholesky", "fmm", "volrend", "water", "lu")
+
+#: The (workload, threads) pairs of Table I.
+TABLE1_CASES: tuple[tuple[str, int], ...] = tuple(
+    (r.workload, r.threads) for r in TABLE1_TARGETS
+)
+
+#: The four benchmarks used in Figs. 5-6 (16-thread where available).
+FIGURE_CASES: tuple[tuple[str, int], ...] = (
+    ("cholesky", 16),
+    ("fmm", 16),
+    ("volrend", 16),
+    ("lu", 16),
+)
+
+
+def component_profile(
+    chip: ChipFloorplan, name: str, threads: int | None = None
+) -> np.ndarray:
+    """Per-component utilization shape for benchmark ``name``.
+
+    Normalized so the power-weighted mean is 1: the profile moves heat
+    around without changing calibrated chip power. A thread-count
+    specific override (key ``"name:threads"``) wins over the benchmark
+    default — e.g. 4-thread cholesky concentrates more heat per core
+    than the 16-thread run (Table I shows it unusually hot for its
+    power).
+    """
+    spec = _PROFILES.get(f"{name}:{threads}", _PROFILES.get(name))
+    if spec is None:
+        raise WorkloadError(f"no profile for benchmark {name!r}")
+    weights = chip.power_weights()
+    areas = chip.areas_mm2()
+    alloc = weights * areas  # proportional to per-component peak power
+    if spec["mults"]:
+        raw = np.array([spec["mults"][c.category] for c in chip.components])
+    else:
+        raw = np.ones_like(weights)
+    uniformity = spec.get("uniformity", 0.0)
+    if uniformity > 0.0:
+        # Flatten power *density* toward uniform: profile ~ 1 / weight.
+        raw = (1.0 - uniformity) * raw + uniformity / weights
+    contrast = spec.get("contrast", 1.0)
+    if contrast != 1.0:
+        # Sharpen (>1) or flatten (<1) the utilization signature around
+        # its mean; the single scalar fitted against Table I's peak
+        # temperature for this (benchmark, threads) case.
+        density = raw * weights  # power-density shape
+        mean = (density * areas).sum() / areas.sum()
+        density = np.clip(mean + contrast * (density - mean), 0.05, None)
+        raw = density / weights
+    scale = alloc.sum() / (alloc * raw).sum()
+    return raw * scale
+
+
+def splash2_workload(
+    name: str, threads: int, chip: ChipFloorplan
+) -> Workload:
+    """Build the calibrated :class:`Workload` for ``(name, threads)``."""
+    row = table1_row(name, threads)
+    try:
+        ipc, activity = _BEHAVIOUR[(name, threads)]
+    except KeyError as exc:
+        raise WorkloadError(f"no calibration for {name}/{threads}t") from exc
+    if threads == chip.n_tiles:
+        tiles = tuple(range(chip.n_tiles))
+    elif threads == 4 and chip.n_tiles == 16:
+        tiles = FOUR_THREAD_TILES
+    else:
+        tiles = tuple(range(threads))
+    weights = thread_weights(name, threads)
+    # Table I's execution time is set by the slowest thread; keep it by
+    # scaling the (time-derived) IPC with the critical-path weight.
+    w_max = max(weights) / (sum(weights) / threads)
+    return Workload(
+        name=name,
+        threads=threads,
+        total_instructions=row.instructions,
+        ff_instructions=row.ff_inst,
+        ipc_at_ref=ipc * w_max,
+        activity=activity,
+        active_tiles=tiles,
+        phases=_PHASES[name],
+        component_profile=component_profile(chip, name, threads),
+        thread_weights=weights,
+        input_file=row.input_file,
+    )

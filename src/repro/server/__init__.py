@@ -1,0 +1,44 @@
+"""Server substrate for the Sec. V-E comparison (TECfan vs OFTEC/Oracle).
+
+Public API
+----------
+- :func:`~repro.server.wikipedia.generate_trace` — synthetic Wikipedia
+  HTTP utilization trace (7-day, diurnal + weekly + bursty noise)
+- :class:`~repro.server.specjbb.QuadraticPerfModel` — SPECjbb-fitted
+  performance vs frequency
+- :class:`~repro.server.trace_workload.ServerWorkload` /
+  :class:`~repro.server.trace_workload.ServerTraceRun` /
+  :class:`~repro.server.trace_workload.ServerIPSPredictor`
+- :func:`~repro.server.platform.build_server_system`
+- :mod:`~repro.server.server_power` — i7-3770K-class calibration
+"""
+
+from repro.server.platform import ServerPlatform, build_server_system
+from repro.server.server_power import ServerPowerParams
+from repro.server.specjbb import DEFAULT_PERF_MODEL, QuadraticPerfModel
+from repro.server.trace_workload import (
+    ServerIPSPredictor,
+    ServerTraceRun,
+    ServerWorkload,
+)
+from repro.server.wikipedia import (
+    TARGET_MEAN_UTILIZATION,
+    UTILIZATION_SCALE,
+    WikipediaTrace,
+    generate_trace,
+)
+
+__all__ = [
+    "ServerPlatform",
+    "build_server_system",
+    "ServerPowerParams",
+    "DEFAULT_PERF_MODEL",
+    "QuadraticPerfModel",
+    "ServerIPSPredictor",
+    "ServerTraceRun",
+    "ServerWorkload",
+    "TARGET_MEAN_UTILIZATION",
+    "UTILIZATION_SCALE",
+    "WikipediaTrace",
+    "generate_trace",
+]

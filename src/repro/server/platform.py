@@ -1,0 +1,91 @@
+"""The 4-core server platform of Sec. V-E.
+
+A 2 x 2 tile array stands in for the quad-core i7-3770K-class part: same
+per-tile component structure (the thermal solver and TEC arrays are
+reused unchanged), i7 DVFS table, i7-class power envelope, and a package
+whose per-tile spreader->sink share is rescaled so the total stack
+resistance matches a desktop cooler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cooling.datasheets import DEFAULT_TEC_DEVICE, TECDeviceSpec
+from repro.cooling.fan import FanModel
+from repro.core.state import ActuatorState
+from repro.core.system import CMPSystem, build_system
+from repro.power.calibration import build_power_models
+from repro.power.dvfs import I7_DVFS, DVFSTable
+from repro.server.server_power import ServerPowerParams
+from repro.thermal.package import PackageStack
+
+
+@dataclass(frozen=True)
+class ServerPlatform:
+    """System + calibration bundle for the server comparison."""
+
+    system: CMPSystem
+    params: ServerPowerParams
+    #: Peak temperature of the full-load base scenario [degC]; the
+    #: experiment's temperature threshold.
+    t_threshold_c: float
+
+
+def build_server_system(
+    params: ServerPowerParams | None = None,
+    dvfs: DVFSTable = I7_DVFS,
+    tec_device: TECDeviceSpec = DEFAULT_TEC_DEVICE,
+) -> ServerPlatform:
+    """Construct the 4-core platform and derive its threshold."""
+    if params is None:
+        params = ServerPowerParams()
+    package = PackageStack(
+        # Four tiles share the sink: the total spreader->sink resistance
+        # of the 16-tile stack (1.6/16 = 0.1 K/W) split across 4 tiles.
+        r_spreader_sink_per_tile=1.6 * 4.0 / 16.0,
+        # Desktop-class direct-attach stack: thinner bond line than the
+        # research SCC package, or the i7's 77 W on a quarter of the
+        # area could not be held at ~90 degC.
+        tim_thickness_m=45e-6,
+    )
+    system = build_system(
+        rows=2,
+        cols=2,
+        dvfs=dvfs,
+        package=package,
+        fan=FanModel(),
+        tec_device=tec_device,
+    )
+    # Replace the SCC-scaled power models with the i7-class envelope.
+    system.power = build_power_models(
+        system.chip,
+        dvfs=dvfs,
+        chip_peak_dynamic_w=params.peak_dynamic_w * 16.0 / system.chip.n_tiles,
+        p_tdp_leak_w=params.tdp_leak_w * 16.0 / system.chip.n_tiles,
+        t_tdp_c=params.t_tdp_c,
+        leakage_slope_w_per_k=(
+            params.leakage_slope_w_per_k * 16.0 / system.chip.n_tiles
+        ),
+    )
+    system.power.component_power.idle_activity = params.idle_activity
+    # Rebuild the plant-side leakage closure around the new models.
+    system.plant_thermal.leakage_fn = (
+        system.power.plant_leakage.per_component_w
+    )
+
+    # Threshold: full-load base scenario peak (max DVFS, max fan, TECs
+    # off, all cores 100% busy), as in the SPLASH-2 experiments.
+    state = ActuatorState.initial(
+        system.n_tec_devices, system.n_cores, dvfs.max_level, fan_level=1
+    )
+    p_dyn = system.power.component_power.dynamic_power_w(
+        np.ones(system.n_cores), state.dvfs, None
+    )
+    t_nodes, _ = system.plant_thermal.solve(p_dyn, 1, state.tec)
+    threshold = float(system.component_temps_c(t_nodes).max())
+    return ServerPlatform(
+        system=system, params=params, t_threshold_c=threshold
+    )

@@ -1,0 +1,60 @@
+"""Server power model for the Sec. V-E comparison.
+
+The paper computes the 4-core server's power with the utilization model
+of Horvath & Skadron (PACT'08) and the published parameters of the Intel
+Core i7-3770K (77 W TDP, 3.5 GHz): power rises linearly with utilization
+between an idle floor and the busy peak, and the busy dynamic power
+scales with ``f * V^2`` across DVFS states.
+
+In this reproduction the *thermal* side reuses the per-component machinery
+(one tile per core on a 2 x 2 floorplan), so this module provides the
+calibration constants mapping the i7-class envelope onto
+:func:`repro.power.calibration.build_power_models`: utilization plays the
+role of per-tile activity, the idle floor is the activity floor, and
+leakage carries the temperature dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: i7-3770K-class envelope.
+I7_TDP_W: float = 77.0
+
+#: Peak chip dynamic power at max DVFS, all cores 100% busy [W]
+#: (TDP minus the leakage share at the TDP temperature).
+I7_PEAK_DYNAMIC_W: float = 58.0
+
+#: Leakage share of TDP at ``I7_T_TDP_C`` [W] (22 nm planar-ish).
+I7_TDP_LEAK_W: float = 19.0
+
+#: TDP temperature reference [degC].
+I7_T_TDP_C: float = 90.0
+
+#: Chip-wide leakage-temperature slope [W/K].
+I7_LEAKAGE_SLOPE_W_PER_K: float = 0.30
+
+#: Idle (halted) activity floor — the Horvath-Skadron idle power as a
+#: fraction of busy dynamic power.
+I7_IDLE_ACTIVITY: float = 0.10
+
+#: Per-core useful-instruction service capacity at 3.5 GHz [IPS]
+#: (IPC ~1.7 server-mix at 3.5 GHz).
+I7_PEAK_IPS: float = 6.0e9
+
+
+@dataclass(frozen=True)
+class ServerPowerParams:
+    """Bundle of the server calibration constants (overridable)."""
+
+    peak_dynamic_w: float = I7_PEAK_DYNAMIC_W
+    tdp_leak_w: float = I7_TDP_LEAK_W
+    t_tdp_c: float = I7_T_TDP_C
+    leakage_slope_w_per_k: float = I7_LEAKAGE_SLOPE_W_PER_K
+    idle_activity: float = I7_IDLE_ACTIVITY
+    peak_ips: float = I7_PEAK_IPS
+
+    @property
+    def tdp_w(self) -> float:
+        """Nominal TDP implied by the split [W]."""
+        return self.peak_dynamic_w + self.tdp_leak_w

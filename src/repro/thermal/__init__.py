@@ -1,0 +1,41 @@
+"""Thermal substrate: the HotSpot-equivalent lumped RC network.
+
+Public API
+----------
+- :class:`~repro.thermal.package.PackageStack` — stack geometry/materials
+- :class:`~repro.thermal.rc_network.ThermalNodes` — node map + capacities
+- :class:`~repro.thermal.conductance.ConductanceModel` — G assembly
+  (``G = G0 + diag``, actuator-dependent diagonal only)
+- :class:`~repro.thermal.steady_state.SteadyStateSolver` — LU-cached
+  ``G Ts = P`` solves (Eq. 1)
+- :class:`~repro.thermal.transient.PaperTransient` /
+  :class:`~repro.thermal.transient.ExactTransient` — Eq. (5) vs exact
+- :class:`~repro.thermal.leakage_loop.LeakageCoupledSolver` — the
+  temperature-leakage fixed point (HotSpot modification, Sec. IV-B)
+- :class:`~repro.thermal.sensors.TemperatureSensorBank`
+"""
+
+from repro.thermal.conductance import ConductanceModel
+from repro.thermal.leakage_loop import (
+    LeakageCoupledSolver,
+    MAX_ITERATIONS,
+    PEAK_TOLERANCE_K,
+)
+from repro.thermal.package import PackageStack
+from repro.thermal.rc_network import ThermalNodes
+from repro.thermal.sensors import TemperatureSensorBank
+from repro.thermal.steady_state import SteadyStateSolver
+from repro.thermal.transient import ExactTransient, PaperTransient
+
+__all__ = [
+    "ConductanceModel",
+    "LeakageCoupledSolver",
+    "MAX_ITERATIONS",
+    "PEAK_TOLERANCE_K",
+    "PackageStack",
+    "ThermalNodes",
+    "TemperatureSensorBank",
+    "SteadyStateSolver",
+    "ExactTransient",
+    "PaperTransient",
+]

@@ -1,0 +1,136 @@
+"""Thermal package stack parameters (die / TIM+TEC / spreader / sink).
+
+The vertical heat path follows the paper's Fig. 1: silicon die ->
+thermal-interface layer (which embeds the TEC films) -> copper heat
+spreader -> finned heat sink -> forced convection to ambient driven by
+the fan. Lateral conduction exists in the die and in the spreader.
+
+Defaults are calibrated (see ``repro.power.calibration``) so the base
+scenario reproduces Table I of the paper: ~126 W uniform load -> ~90 C
+peak, ~44 W concentrated on 4 tiles -> ~69 C peak, with 40 C ambient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PackageStack:
+    """Geometry and material parameters of the cooling stack.
+
+    All lengths in metres; conductivities in W/(m K); heat capacities
+    derived from volumetric values in :mod:`repro.units`.
+    """
+
+    #: Thinned die thickness [m].
+    die_thickness_m: float = 0.3e-3
+    #: Silicon in-plane conductivity [W/(m K)].
+    k_die: float = units.K_SILICON
+    #: Discount on lateral die conduction (thinned dies and the dense
+    #: BEOL/TSV stack conduct laterally much worse than bulk silicon).
+    die_lateral_factor: float = 0.3
+    #: TIM bond-line thickness [m].
+    tim_thickness_m: float = 90e-6
+    #: TIM conductivity [W/(m K)].
+    k_tim: float = units.K_TIM
+    #: Copper heat-spreader side length [m] (square spreader).
+    spreader_side_m: float = 40e-3
+    #: Spreader thickness [m].
+    spreader_thickness_m: float = 2e-3
+    #: Spreader conductivity [W/(m K)].
+    k_spreader: float = units.K_COPPER
+    #: Geometric factor accounting for the spreader being much larger
+    #: than the die (widens the effective lateral cross-section).
+    spreader_lateral_factor: float = 0.15
+    #: Conductive resistance spreader-tile -> sink-tile [K/W per tile].
+    r_spreader_sink_per_tile: float = 1.6
+    #: Aluminium sink-base thickness [m] (lateral conduction path).
+    sink_base_thickness_m: float = 5e-3
+    #: Sink base conductivity [W/(m K)] (aluminium).
+    k_sink: float = 200.0
+    #: Geometric widening factor of the sink base vs tile pitch.
+    sink_lateral_factor: float = 30.0
+    #: Heat-sink lumped heat capacity [J/K]; the paper quotes "hundreds
+    #: of Joule per Kelvin" and a 15-30 s time constant (Sec. III-D).
+    sink_heat_capacity_j_per_k: float = 250.0
+    #: Ambient air temperature [degC].
+    ambient_c: float = units.DEFAULT_AMBIENT_C
+
+    def __post_init__(self) -> None:
+        for name in (
+            "die_thickness_m",
+            "k_die",
+            "tim_thickness_m",
+            "k_tim",
+            "spreader_side_m",
+            "spreader_thickness_m",
+            "k_spreader",
+            "spreader_lateral_factor",
+            "r_spreader_sink_per_tile",
+            "sink_base_thickness_m",
+            "k_sink",
+            "sink_lateral_factor",
+            "sink_heat_capacity_j_per_k",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"package parameter {name} must be > 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def ambient_k(self) -> float:
+        """Ambient temperature [K]."""
+        return units.c_to_k(self.ambient_c).item()
+
+    def die_lateral_conductance(self, edge_mm: float, dist_mm: float) -> float:
+        """Lateral silicon conductance for a shared edge [W/K].
+
+        ``g = k * t * (edge / distance)`` — the mm units of edge and
+        centroid distance cancel.
+        """
+        return (
+            self.k_die
+            * self.die_thickness_m
+            * (edge_mm / dist_mm)
+            * self.die_lateral_factor
+        )
+
+    def tim_vertical_conductance(self, area_mm2: float) -> float:
+        """Vertical conductance of a TIM patch of ``area_mm2`` [W/K]."""
+        return self.k_tim * units.mm2_to_m2(area_mm2) / self.tim_thickness_m
+
+    def spreader_lateral_conductance(
+        self, edge_mm: float, dist_mm: float
+    ) -> float:
+        """Lateral conductance between adjacent spreader tiles [W/K]."""
+        return (
+            self.k_spreader
+            * self.spreader_thickness_m
+            * (edge_mm / dist_mm)
+            * self.spreader_lateral_factor
+        )
+
+    def spreader_sink_conductance(self) -> float:
+        """Per-tile conductance from spreader to sink base [W/K]."""
+        return 1.0 / self.r_spreader_sink_per_tile
+
+    def sink_lateral_conductance(self, edge_mm: float, dist_mm: float) -> float:
+        """Lateral conductance between adjacent sink tiles [W/K]."""
+        return (
+            self.k_sink
+            * self.sink_base_thickness_m
+            * (edge_mm / dist_mm)
+            * self.sink_lateral_factor
+        )
+
+    def component_heat_capacity(self, area_mm2: float) -> float:
+        """Heat capacity of a die component [J/K]."""
+        return units.CV_SILICON * units.mm2_to_m2(area_mm2) * self.die_thickness_m
+
+    def spreader_tile_heat_capacity(self, n_tiles: int) -> float:
+        """Heat capacity of one spreader node [J/K] (total split evenly)."""
+        vol = self.spreader_side_m**2 * self.spreader_thickness_m
+        return units.CV_COPPER * vol / n_tiles

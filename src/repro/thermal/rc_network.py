@@ -1,0 +1,102 @@
+"""Thermal RC network: node bookkeeping and heat capacities.
+
+Node layout (flat indices):
+
+* ``[0, n_components)`` — die components, floorplan order;
+* ``[n_components, n_components + n_tiles)`` — heat-spreader tiles (the
+  spreader is discretized per core tile so TEC hot sides and per-tile
+  power concentrations are spatially resolved);
+* ``[n_components + n_tiles, n_components + 2*n_tiles)`` — heat-sink
+  tiles (the sink base is discretized the same way, so a concentrated
+  4-thread load sees a locally hotter sink region, as it physically
+  does; lateral conduction through the thick sink base couples them).
+
+The ambient is a fixed boundary temperature, not an unknown: the fan's
+convective conductance (split evenly over sink tiles) appears on the
+sink diagonals of G and as ``(g_conv/n_tiles) * T_amb`` in the RHS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.floorplan.chip import ChipFloorplan
+from repro.thermal.package import PackageStack
+
+
+@dataclass
+class ThermalNodes:
+    """Index map and per-node heat capacities for a chip's network."""
+
+    chip: ChipFloorplan
+    package: PackageStack
+    #: Heat capacity per node [J/K].
+    capacities: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacities is None:
+            self.capacities = self._build_capacities()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        """Number of die component nodes."""
+        return self.chip.n_components
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of spreader tile nodes."""
+        return self.chip.n_tiles
+
+    @property
+    def n_nodes(self) -> int:
+        """Total unknowns in the steady-state solve."""
+        return self.n_components + 2 * self.n_tiles
+
+    def spreader_index(self, tile: int) -> int:
+        """Flat index of the spreader node over ``tile``."""
+        return self.n_components + tile
+
+    def sink_index(self, tile: int) -> int:
+        """Flat index of the sink node over ``tile``."""
+        return self.n_components + self.n_tiles + tile
+
+    @property
+    def component_slice(self) -> slice:
+        """Slice selecting the die component nodes."""
+        return slice(0, self.n_components)
+
+    @property
+    def spreader_slice(self) -> slice:
+        """Slice selecting the spreader tile nodes."""
+        return slice(self.n_components, self.n_components + self.n_tiles)
+
+    @property
+    def sink_slice(self) -> slice:
+        """Slice selecting the sink tile nodes."""
+        return slice(
+            self.n_components + self.n_tiles,
+            self.n_components + 2 * self.n_tiles,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_capacities(self) -> np.ndarray:
+        c = np.empty(self.n_nodes)
+        areas = self.chip.areas_mm2()
+        for i in range(self.n_components):
+            c[i] = self.package.component_heat_capacity(areas[i])
+        c[self.spreader_slice] = self.package.spreader_tile_heat_capacity(
+            self.n_tiles
+        )
+        c[self.sink_slice] = (
+            self.package.sink_heat_capacity_j_per_k / self.n_tiles
+        )
+        return c
+
+    def expand_component_values(self, values: np.ndarray) -> np.ndarray:
+        """Zero-pad a per-component vector to a full node vector."""
+        out = np.zeros(self.n_nodes)
+        out[self.component_slice] = values
+        return out

@@ -1,0 +1,66 @@
+"""On-die temperature sensor model.
+
+The paper assumes a temperature sensor at every component (Sec. V-A,
+following Long & Memik and Chaparro et al.) and notes that 8-bit encoding
+is sufficient for the hardware temperature comparisons (Sec. III-E).
+This module models that reading path: quantization to a configurable
+resolution over a sensing range, plus optional zero-mean Gaussian noise,
+so controllers can be evaluated against non-ideal telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class TemperatureSensorBank:
+    """Per-component sensor array with quantization and noise.
+
+    Parameters
+    ----------
+    range_c:
+        (low, high) sensing range [degC]; readings clip to it.
+    bits:
+        Encoder resolution; the paper's hardware estimate uses 8 bits.
+    noise_sigma_c:
+        Standard deviation of additive Gaussian noise [degC]. Zero by
+        default — the paper assumes ideal sensing.
+    seed:
+        RNG seed for reproducible noise.
+    """
+
+    range_c: tuple[float, float] = (0.0, 127.5)
+    bits: int = 8
+    noise_sigma_c: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.range_c
+        if hi <= lo:
+            raise ConfigurationError("sensor range must satisfy high > low")
+        if not 1 <= self.bits <= 16:
+            raise ConfigurationError("sensor bits must be within 1..16")
+        if self.noise_sigma_c < 0:
+            raise ConfigurationError("noise sigma must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def step_c(self) -> float:
+        """Quantization step [degC]."""
+        lo, hi = self.range_c
+        return (hi - lo) / (2**self.bits - 1)
+
+    def read_c(self, true_temps_c: np.ndarray) -> np.ndarray:
+        """Quantized (and optionally noisy) sensor readings [degC]."""
+        t = np.asarray(true_temps_c, dtype=float)
+        if self.noise_sigma_c > 0.0:
+            t = t + self._rng.normal(0.0, self.noise_sigma_c, t.shape)
+        lo, hi = self.range_c
+        t = np.clip(t, lo, hi)
+        codes = np.round((t - lo) / self.step_c)
+        return lo + codes * self.step_c

@@ -1,0 +1,98 @@
+"""Steady-state thermal solve: ``G(fan, tec) Ts = P`` (paper Eq. 1).
+
+The solver caches sparse LU factorizations keyed by actuator setting:
+controllers evaluate many candidate DVFS levels against the *same* G (a
+DVFS change only moves the power vector), so the common case is a cached
+triangular solve rather than a refactorization. TEC activations are
+quantized to 1/256 for the cache key — exact for on/off states and more
+than fine enough for the fan controller's fractional "average state".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import ThermalModelError
+from repro.thermal.conductance import ConductanceModel
+
+
+def _tec_key(tec_activation: np.ndarray) -> bytes:
+    """Hashable quantized activation vector."""
+    q = np.round(np.asarray(tec_activation, dtype=float) * 256.0)
+    return np.asarray(q, dtype=np.int16).tobytes()
+
+
+@dataclass
+class SteadyStateSolver:
+    """LU-cached solver for the steady-state temperature field.
+
+    Parameters
+    ----------
+    model:
+        The assembled conductance machinery.
+    cache_size:
+        Maximum number of retained factorizations (LRU eviction). The
+        TECfan heuristic revisits neighbouring TEC configurations many
+        times within a control period, so even a small cache removes
+        nearly all refactorizations.
+    """
+
+    model: ConductanceModel
+    cache_size: int = 64
+    _lu_cache: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    #: Statistics: factorizations performed / solves served.
+    n_factorizations: int = 0
+    n_solves: int = 0
+
+    def _factorization(self, fan_level: int, tec_activation: np.ndarray):
+        key = (fan_level, _tec_key(tec_activation))
+        lu = self._lu_cache.get(key)
+        if lu is None:
+            g = self.model.matrix(fan_level, tec_activation)
+            try:
+                lu = spla.splu(g)
+            except RuntimeError as exc:  # singular matrix
+                raise ThermalModelError(
+                    f"G matrix is singular for fan={fan_level}"
+                ) from exc
+            self._lu_cache[key] = lu
+            self.n_factorizations += 1
+            if len(self._lu_cache) > self.cache_size:
+                self._lu_cache.popitem(last=False)
+        else:
+            self._lu_cache.move_to_end(key)
+        return lu
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        p_components_w: np.ndarray,
+        fan_level: int,
+        tec_activation: np.ndarray,
+    ) -> np.ndarray:
+        """Steady-state node temperatures [K] for one actuator setting.
+
+        Parameters
+        ----------
+        p_components_w:
+            Per-die-component dissipation [W] (length ``n_components``).
+        fan_level:
+            Fan speed level (1 = fastest).
+        tec_activation:
+            Per-device activation in [0, 1].
+        """
+        lu = self._factorization(fan_level, tec_activation)
+        rhs = self.model.rhs(p_components_w, fan_level, tec_activation)
+        self.n_solves += 1
+        t = lu.solve(rhs)
+        if not np.all(np.isfinite(t)):
+            raise ThermalModelError("non-finite steady-state temperatures")
+        return t
+
+    def clear_cache(self) -> None:
+        """Drop all cached factorizations."""
+        self._lu_cache.clear()

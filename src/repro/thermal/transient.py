@@ -1,0 +1,127 @@
+"""Transient temperature models.
+
+Two integrators are provided:
+
+* :class:`PaperTransient` — the paper's Eq. (5): every node relaxes
+  exponentially toward its *steady-state* value with its own RC time
+  constant, ``T(k) = (1 - beta) Ts + beta T(k-1)``,
+  ``beta = exp(-dt / (R C))``. We take ``R_i = 1 / G_ii`` (the total
+  conductance incident on node ``i``), which reduces exactly to the
+  scalar RC model of Eq. (3)-(4) for a single node. This decoupled
+  update is what TECfan's on-line estimator can afford in hardware.
+
+* :class:`ExactTransient` — the exact solution of the full linear ODE
+  ``C dT/dt = P - G T``, i.e. ``T(t) = Ts + expm(-C^-1 G t)(T0 - Ts)``,
+  used to validate the decoupled approximation (see
+  ``benchmarks/bench_thermal_solver.py``). Dense; intended for small
+  networks or occasional cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import ThermalModelError
+from repro.thermal.conductance import ConductanceModel
+
+
+@dataclass
+class PaperTransient:
+    """Eq. (5) decoupled exponential relaxation toward steady state."""
+
+    model: ConductanceModel
+
+    def betas(
+        self, dt_s: float, fan_level: int, tec_activation: np.ndarray
+    ) -> np.ndarray:
+        """Per-node relaxation factor ``beta = exp(-dt G_ii / C_i)``."""
+        if dt_s <= 0:
+            raise ThermalModelError(f"non-positive time step {dt_s}")
+        delta = self.model.diag_delta(fan_level, tec_activation)
+        g = self.model._g0.copy()
+        diag = g.data[self.model._diag_pos] + delta
+        c = self.model.nodes.capacities
+        return np.exp(-dt_s * diag / c)
+
+    def step(
+        self,
+        t_prev_k: np.ndarray,
+        t_steady_k: np.ndarray,
+        dt_s: float,
+        fan_level: int,
+        tec_activation: np.ndarray,
+    ) -> np.ndarray:
+        """Advance one interval: ``(1 - beta) Ts + beta T_prev`` [K]."""
+        beta = self.betas(dt_s, fan_level, tec_activation)
+        return (1.0 - beta) * t_steady_k + beta * t_prev_k
+
+    def interpolate(
+        self,
+        t_initial_k: np.ndarray,
+        t_steady_k: np.ndarray,
+        times_s: np.ndarray,
+        fan_level: int,
+        tec_activation: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. (4) continuous-time form: the trajectory at many instants.
+
+        Returns an array of shape ``(len(times_s), n_nodes)`` [K] — the
+        per-node exponential relaxation from ``t_initial_k`` toward
+        ``t_steady_k`` evaluated at each requested time, exactly the
+        interpolation the paper derives before discretizing into Eq. (5).
+        """
+        times = np.asarray(times_s, dtype=float)
+        if np.any(times < 0):
+            raise ThermalModelError("interpolation times must be >= 0")
+        delta = self.model.diag_delta(fan_level, tec_activation)
+        diag = self.model._g0.data[self.model._diag_pos] + delta
+        rate = diag / self.model.nodes.capacities  # 1 / (R C) per node
+        beta = np.exp(-np.outer(times, rate))
+        return (1.0 - beta) * t_steady_k[None, :] + beta * t_initial_k[None, :]
+
+
+@dataclass
+class ExactTransient:
+    """Exact matrix-exponential integrator for the full linear network."""
+
+    model: ConductanceModel
+
+    def step(
+        self,
+        t_prev_k: np.ndarray,
+        t_steady_k: np.ndarray,
+        dt_s: float,
+        fan_level: int,
+        tec_activation: np.ndarray,
+    ) -> np.ndarray:
+        """Advance one interval with ``expm(-C^-1 G dt)`` [K].
+
+        ``t_steady_k`` must be the steady state of the *same* actuator
+        setting and power vector (it defines the affine offset).
+        """
+        if dt_s <= 0:
+            raise ThermalModelError(f"non-positive time step {dt_s}")
+        g = self.model.matrix(fan_level, tec_activation).toarray()
+        c_inv = 1.0 / self.model.nodes.capacities
+        a = -c_inv[:, None] * g
+        phi = scipy.linalg.expm(a * dt_s)
+        return t_steady_k + phi @ (t_prev_k - t_steady_k)
+
+    def time_constants_s(
+        self, fan_level: int, tec_activation: np.ndarray
+    ) -> np.ndarray:
+        """Eigen time constants of the network (sorted ascending) [s].
+
+        Useful to verify the paper's claims about the separation between
+        TEC/DVFS (sub-ms) and fan/heat-sink (tens of seconds) scales.
+        """
+        g = self.model.matrix(fan_level, tec_activation).toarray()
+        c_inv = 1.0 / self.model.nodes.capacities
+        eig = np.linalg.eigvals(c_inv[:, None] * g)
+        real = np.real(eig)
+        if np.any(real <= 0):
+            raise ThermalModelError("network has non-decaying thermal modes")
+        return np.sort(1.0 / real)

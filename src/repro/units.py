@@ -1,0 +1,66 @@
+"""Physical constants and unit helpers.
+
+All internal computation is in SI units; temperatures are handled in
+**Kelvin** inside the thermal solvers (the Peltier pumping term ``α·I·T``
+needs an absolute temperature) and exposed in **degrees Celsius** at the
+public API boundary, matching how the paper reports temperatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Offset between Kelvin and degrees Celsius.
+KELVIN_OFFSET: float = 273.15
+
+#: Default ambient temperature used throughout the paper's setup [°C].
+DEFAULT_AMBIENT_C: float = 40.0
+
+
+def c_to_k(temp_c):
+    """Convert Celsius to Kelvin (scalar or ndarray)."""
+    return np.asarray(temp_c, dtype=float) + KELVIN_OFFSET
+
+
+def k_to_c(temp_k):
+    """Convert Kelvin to Celsius (scalar or ndarray)."""
+    return np.asarray(temp_k, dtype=float) - KELVIN_OFFSET
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area in square millimetres to square metres."""
+    return area_mm2 * 1e-6
+
+
+def mm_to_m(length_mm: float) -> float:
+    """Convert a length in millimetres to metres."""
+    return length_mm * 1e-3
+
+
+def cfm_to_m3s(cfm: float) -> float:
+    """Convert an airflow in cubic feet per minute to m^3/s."""
+    return cfm * 0.000471947443
+
+
+# --- Material properties (bulk values at ~350 K) -------------------------
+
+#: Thermal conductivity of silicon [W/(m·K)].
+K_SILICON: float = 130.0
+
+#: Volumetric heat capacity of silicon [J/(m^3·K)].
+CV_SILICON: float = 1.75e6
+
+#: Thermal conductivity of copper (heat spreader / sink base) [W/(m·K)].
+K_COPPER: float = 400.0
+
+#: Volumetric heat capacity of copper [J/(m^3·K)].
+CV_COPPER: float = 3.55e6
+
+#: Thermal conductivity of a typical thermal interface material [W/(m·K)].
+K_TIM: float = 4.0
+
+#: Volumetric heat capacity of TIM [J/(m^3·K)].
+CV_TIM: float = 2.0e6
+
+#: Thermal conductivity of Bi2Te3 superlattice film (TEC body) [W/(m·K)].
+K_BI2TE3: float = 1.2

@@ -1,0 +1,56 @@
+"""Shared fixtures: small platforms so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import ActuatorState
+from repro.core.system import build_system
+from repro.floorplan.chip import build_chip
+
+
+@pytest.fixture(scope="session")
+def chip2():
+    """A 1 x 2 tile chip (two cores, 36 components)."""
+    return build_chip(rows=1, cols=2)
+
+
+@pytest.fixture(scope="session")
+def chip16():
+    """The paper's 4 x 4 target chip."""
+    return build_chip(rows=4, cols=4)
+
+
+@pytest.fixture(scope="session")
+def system2():
+    """Small system for controller/thermal tests."""
+    return build_system(rows=1, cols=2)
+
+
+@pytest.fixture(scope="session")
+def system4():
+    """The 2 x 2 server-scale system (SCC DVFS, default package)."""
+    return build_system(rows=2, cols=2)
+
+
+@pytest.fixture(scope="session")
+def system16():
+    """The full 16-core platform (expensive; reuse across tests)."""
+    return build_system()
+
+
+@pytest.fixture()
+def base_state2(system2):
+    """Base actuator state for the small system."""
+    return ActuatorState.initial(
+        system2.n_tec_devices,
+        system2.n_cores,
+        system2.dvfs.max_level,
+        fan_level=1,
+    )
+
+
+def full_activity(system) -> np.ndarray:
+    """Activity vector with every core busy."""
+    return np.ones(system.n_cores)

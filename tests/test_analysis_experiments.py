@@ -1,0 +1,53 @@
+"""Experiment flows: base scenarios and policy suites at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    BaseScenario,
+    make_policies,
+    run_base_scenario,
+    run_policy_suite,
+)
+from repro.core.tecfan import TECfanController
+
+
+def test_make_policies_order_and_names():
+    names = [p.name for p in make_policies()]
+    assert names == ["Fan-only", "Fan+TEC", "Fan+DVFS", "DVFS+TEC", "TECfan"]
+
+
+@pytest.mark.slow
+def test_base_scenario_fields(system16):
+    base = run_base_scenario(system16, "fmm", 16)
+    assert isinstance(base, BaseScenario)
+    assert base.t_threshold_c == base.result.metrics.peak_temp_c
+    assert base.processor_power_w < base.result.metrics.average_power_w
+
+
+@pytest.mark.slow
+def test_policy_suite_structure(system16):
+    base, outcomes = run_policy_suite(
+        system16,
+        "lu",
+        16,
+        policies=[TECfanController()],
+    )
+    assert "TECfan" in outcomes
+    oc = outcomes["TECfan"]
+    assert oc.chosen.metrics.policy == "TECfan"
+    assert len(oc.sweep) >= 1
+    # TECfan never exceeds the base peak by more than noise.
+    assert oc.chosen.metrics.violation_rate <= 0.05
+
+
+@pytest.mark.slow
+def test_fan_only_outcome_is_base(system16):
+    from repro.core.baselines import FanOnlyController
+
+    base, outcomes = run_policy_suite(
+        system16, "fmm", 16, policies=[FanOnlyController()]
+    )
+    m = outcomes["Fan-only"].chosen.metrics
+    assert m.energy_j == base.result.metrics.energy_j
+    assert m.fan_level == 1

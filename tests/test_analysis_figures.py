@@ -1,0 +1,87 @@
+"""Figure data generators (fast paths; full runs live in benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    Figure4Row,
+    Figure4Series,
+    format_figure4,
+    format_figure4_timeseries,
+    format_figure7,
+)
+
+
+def test_format_figure4_renders():
+    rows = [
+        Figure4Row(
+            workload="cholesky",
+            threads=16,
+            t_threshold_c=90.0,
+            peak_fan1_c=90.0,
+            peak_fan2_c=96.0,
+            peak_fantec2_c=90.5,
+            fan1_power_w=14.4,
+            fan2_power_w=3.8,
+            tec_power_w=1.2,
+        )
+    ]
+    out = format_figure4(rows)
+    assert "cholesky" in out
+    assert "5.00" in out  # 3.8 + 1.2 cooling power column
+    assert "14.4" in out
+
+
+def test_format_figure4_timeseries_strides():
+    t = np.arange(10, dtype=float)
+    series = Figure4Series(
+        workload="lu",
+        threads=16,
+        t_threshold_c=85.0,
+        time_ms=t,
+        fan1_peak_c=np.full(10, 84.0),
+        fan2_peak_c=np.full(10, 88.0),
+        fantec2_peak_c=np.full(10, 85.2),
+    )
+    out = format_figure4_timeseries(series, stride=5)
+    body = [l for l in out.splitlines() if l.strip() and l[0].isspace()]
+    assert len(body) == 2  # rows 0 and 5
+    assert "85.00" in out  # threshold in the title
+
+
+def test_format_figure7():
+    out = format_figure7(
+        {
+            "OFTEC": {"delay": 1.0, "power": 1.0, "energy": 1.0, "edp": 1.0},
+            "TECfan": {"delay": 1.0, "power": 0.74, "energy": 0.74,
+                       "edp": 0.74},
+        }
+    )
+    assert "OFTEC" in out and "TECfan" in out
+    assert "0.740" in out
+
+
+@pytest.mark.slow
+def test_figure5_and_6_structures(system16):
+    """Structure-level checks on a single-benchmark comparison."""
+    from repro.analysis.figures import (
+        SplashComparison,
+        figure5,
+        figure6,
+        figure6_averages,
+        splash_comparison,
+    )
+
+    comp = splash_comparison(system16, cases=(("lu", 16),))
+    assert isinstance(comp, SplashComparison)
+    f5 = figure5(comp)
+    assert "lu" in f5
+    assert any(k.endswith(".peak_c") for k in f5["lu"])
+    f6 = figure6(comp)
+    for policy, vals in f6["lu"].items():
+        assert set(vals) == {"delay", "power", "energy", "edp"}
+        assert vals["edp"] == pytest.approx(
+            vals["energy"] * vals["delay"], rel=1e-9
+        )
+    avg = figure6_averages(comp)
+    assert avg["Fan-only"]["energy"] == pytest.approx(1.0)

@@ -1,0 +1,40 @@
+"""Text rendering helpers."""
+
+from repro.analysis.report import render_normalized, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "metric"], [["x", 1.23456], ["longer", 2.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    assert len({len(l) for l in lines}) == 1  # equal widths
+    assert "1.235" in out  # default 3-decimal float formatting
+
+
+def test_render_table_title():
+    out = render_table(["a"], [[1.0]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_render_table_custom_floatfmt():
+    out = render_table(["v"], [[3.14159]], floatfmt="{:.1f}")
+    assert "3.1" in out and "3.14" not in out
+
+
+def test_render_normalized_order_and_metrics():
+    series = {
+        "A": {"delay": 1.0, "power": 0.5, "energy": 0.5, "edp": 0.5},
+        "B": {"delay": 1.2, "power": 0.4, "energy": 0.48, "edp": 0.58},
+    }
+    out = render_normalized("Fig", series)
+    lines = out.splitlines()
+    assert lines[0] == "Fig"
+    a_line = next(l for l in lines if l.strip().startswith("A"))
+    b_line = next(l for l in lines if l.strip().startswith("B"))
+    assert lines.index(a_line) < lines.index(b_line)
+    assert "0.480" in b_line
+
+
+def test_render_normalized_missing_metric_is_nan():
+    out = render_normalized("Fig", {"A": {"delay": 1.0}})
+    assert "nan" in out

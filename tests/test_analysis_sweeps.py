@@ -1,0 +1,37 @@
+"""Parameter sweeps (TEC density, fan levels)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import (
+    FanLevelPoint,
+    fan_level_sweep,
+    tec_density_sweep,
+)
+
+
+def test_fan_level_sweep_monotone(system2):
+    points = fan_level_sweep(system2, core_activity=0.9)
+    assert len(points) == system2.fan.n_levels
+    temps = [p.peak_temp_c for p in points]
+    fans = [p.fan_power_w for p in points]
+    assert all(b > a for a, b in zip(temps, temps[1:]))  # slower = hotter
+    assert all(b < a for a, b in zip(fans, fans[1:]))  # slower = cheaper
+
+
+def test_fan_level_sweep_leakage_feedback(system2):
+    """Chip power net of the fan rises at slow levels: the leakage
+    penalty of running hot (the trade the fan loop walks)."""
+    points = fan_level_sweep(system2, core_activity=0.9)
+    net = [p.chip_power_w - p.fan_power_w for p in points]
+    assert net[-1] > net[0]
+
+
+@pytest.mark.slow
+def test_tec_density_sweep_shape():
+    """Denser arrays recover more of the fan deficit."""
+    points = tec_density_sweep(grids=((1, 1), (3, 3)))
+    assert [p.devices_per_core for p in points] == [1, 9]
+    sparse, dense = points
+    assert dense.peak_temp_c <= sparse.peak_temp_c + 0.3
+    assert dense.violation_rate <= sparse.violation_rate + 1e-9

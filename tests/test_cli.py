@@ -1,0 +1,29 @@
+"""CLI entry points (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_hwcost_runs(capsys):
+    assert main(["hwcost"]) == 0
+    out = capsys.readouterr().out
+    assert "multipliers" in out
+    assert "54" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_subcommand():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_quick_runs(capsys):
+    assert main(["quick"]) == 0
+    out = capsys.readouterr().out
+    assert "TECfan" in out
+    assert "threshold" in out

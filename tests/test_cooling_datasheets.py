@@ -1,0 +1,51 @@
+"""Reconstructed datasheet tables."""
+
+import pytest
+
+from repro.cooling.datasheets import (
+    DEFAULT_TEC_DEVICE,
+    DYNATRON_R16_LEVELS,
+    TECS_PER_TILE,
+)
+
+
+def test_fan_table_anchors():
+    """The two published anchor points: 14.4 W at level 1, ~3.8 W at
+    level 2 (paper Sec. V-B / Fig. 4(c))."""
+    assert DYNATRON_R16_LEVELS[0].power_w == pytest.approx(14.4)
+    assert DYNATRON_R16_LEVELS[1].power_w == pytest.approx(3.83, abs=0.05)
+
+
+def test_fan_levels_numbered_from_one():
+    assert [lv.level for lv in DYNATRON_R16_LEVELS] == list(
+        range(1, len(DYNATRON_R16_LEVELS) + 1)
+    )
+
+
+def test_airflow_proportional_to_rpm():
+    base = DYNATRON_R16_LEVELS[0]
+    for lv in DYNATRON_R16_LEVELS:
+        assert lv.airflow_cfm / base.airflow_cfm == pytest.approx(
+            lv.rpm / base.rpm
+        )
+
+
+def test_tec_device_footprint():
+    """Sec. IV-C: 0.5 mm x 0.5 mm film devices, 3 x 3 per tile."""
+    assert DEFAULT_TEC_DEVICE.size_mm == pytest.approx(0.5)
+    assert DEFAULT_TEC_DEVICE.area_mm2 == pytest.approx(0.25)
+    assert TECS_PER_TILE == 9
+
+
+def test_tec_pumping_exceeds_joule_cost():
+    """The device must be a net cooler at operating temperatures:
+    a I T_c > I^2 r by a comfortable margin."""
+    d = DEFAULT_TEC_DEVICE
+    pump = d.seebeck_v_per_k * d.current_a * 360.0
+    joule = d.current_a**2 * d.resistance_ohm
+    assert pump > 3 * joule
+
+
+def test_paper_current_limit():
+    """6 A conservative drive; >8 A 'dangerous' (Sec. III-B)."""
+    assert DEFAULT_TEC_DEVICE.current_a < 8.0

@@ -1,0 +1,104 @@
+"""Fan model: levels, cubic power, convection scaling."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.datasheets import DYNATRON_R16_LEVELS, FanLevelSpec
+from repro.cooling.fan import CONVECTION_EXPONENT, FanModel
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def fan():
+    return FanModel()
+
+
+def test_paper_fan_powers(fan):
+    """Fig. 4(c): level 1 = 14.4 W, level 2 = 3.8 W."""
+    assert fan.power_w(1) == pytest.approx(14.4)
+    assert fan.power_w(2) == pytest.approx(3.8, abs=0.1)
+
+
+def test_cubic_power_law(fan):
+    """Fan power ~ rpm^3 (Patterson)."""
+    for lv in range(1, fan.n_levels + 1):
+        expected = 14.4 * (fan.rpm(lv) / fan.rpm(1)) ** 3
+        assert fan.power_w(lv) == pytest.approx(expected, rel=1e-9)
+
+
+def test_level_one_is_fastest(fan):
+    rpms = [fan.rpm(lv) for lv in range(1, fan.n_levels + 1)]
+    assert rpms == sorted(rpms, reverse=True)
+
+
+def test_convection_resistance_monotone(fan):
+    rs = [
+        fan.convection_resistance_k_per_w(lv)
+        for lv in range(1, fan.n_levels + 1)
+    ]
+    assert rs[0] == pytest.approx(fan.r_conv_at_max_k_per_w)
+    assert all(b > a for a, b in zip(rs, rs[1:]))
+
+
+def test_convection_scaling_exponent(fan):
+    r1 = fan.convection_resistance_k_per_w(1)
+    r2 = fan.convection_resistance_k_per_w(2)
+    flow_ratio = fan.airflow_cfm(1) / fan.airflow_cfm(2)
+    assert r2 / r1 == pytest.approx(flow_ratio**CONVECTION_EXPONENT)
+
+
+def test_conductance_is_reciprocal(fan):
+    for lv in range(1, fan.n_levels + 1):
+        assert fan.convection_conductance_w_per_k(lv) == pytest.approx(
+            1.0 / fan.convection_resistance_k_per_w(lv)
+        )
+
+
+def test_tables_match_scalars(fan):
+    np.testing.assert_allclose(
+        fan.power_table(),
+        [fan.power_w(lv) for lv in range(1, fan.n_levels + 1)],
+    )
+    np.testing.assert_allclose(
+        fan.conductance_table(),
+        [
+            fan.convection_conductance_w_per_k(lv)
+            for lv in range(1, fan.n_levels + 1)
+        ],
+    )
+
+
+def test_neighbour_levels(fan):
+    assert fan.faster(1) is None
+    assert fan.slower(fan.n_levels) is None
+    assert fan.faster(3) == 2
+    assert fan.slower(3) == 4
+
+
+def test_invalid_level_rejected(fan):
+    with pytest.raises(ConfigurationError):
+        fan.power_w(0)
+    with pytest.raises(ConfigurationError):
+        fan.power_w(fan.n_levels + 1)
+
+
+def test_bad_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        FanModel(r_conv_at_max_k_per_w=-1.0)
+    backwards = tuple(reversed(DYNATRON_R16_LEVELS))
+    with pytest.raises(ConfigurationError):
+        FanModel(levels=backwards)
+    with pytest.raises(ConfigurationError):
+        FanModel(levels=())
+
+
+def test_custom_level_table():
+    levels = (
+        FanLevelSpec(1, 5000, 30.0, 10.0),
+        FanLevelSpec(2, 2500, 15.0, 1.25),
+    )
+    fan = FanModel(levels=levels, r_conv_at_max_k_per_w=0.2)
+    assert fan.n_levels == 2
+    assert fan.convection_resistance_k_per_w(2) == pytest.approx(
+        0.2 * 2.0**CONVECTION_EXPONENT
+    )

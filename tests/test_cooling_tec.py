@@ -1,0 +1,115 @@
+"""TEC array: placement, footprint weights, Peltier accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.datasheets import TEC_GRID_PER_TILE, TECDeviceSpec
+from repro.cooling.tec import build_tec_array
+from repro.exceptions import ConfigurationError
+from repro.floorplan.chip import build_chip
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return build_chip(rows=1, cols=2)
+
+
+@pytest.fixture(scope="module")
+def tec(chip):
+    return build_tec_array(chip)
+
+
+def test_paper_grid_and_count(tec, chip):
+    """Sec. IV-C: a 3 x 3 array of 0.5 mm devices per core tile."""
+    assert TEC_GRID_PER_TILE == (3, 3)
+    assert tec.devices_per_tile == 9
+    assert tec.n_devices == 9 * chip.n_tiles
+    assert tec.device.size_mm == pytest.approx(0.5)
+
+
+def test_footprint_weights_sum_to_one(tec):
+    for p in tec.placements:
+        assert p.weights.sum() == pytest.approx(1.0)
+        assert np.all(p.weights > 0)
+
+
+def test_devices_stay_on_their_tile(tec, chip):
+    for p in tec.placements:
+        for ci in p.component_idx:
+            assert chip.components[int(ci)].tile == p.tile
+
+
+def test_tile_devices_partition(tec, chip):
+    all_devices = np.concatenate(
+        [tec.tile_devices(t) for t in range(chip.n_tiles)]
+    )
+    assert sorted(all_devices.tolist()) == list(range(tec.n_devices))
+
+
+def test_devices_over_component_inverse_mapping(tec):
+    for p in tec.placements:
+        for ci in p.component_idx:
+            assert p.device in tec.devices_over_component(int(ci))
+
+
+def test_paper_drive_current_and_delay(tec):
+    """Sec. III-B: 6 A drive (8 A deemed dangerous); Sec. IV-C: 20 us."""
+    assert tec.device.current_a == pytest.approx(6.0)
+    assert tec.device.engage_delay_s == pytest.approx(20e-6)
+
+
+def test_electrical_power_eq9(tec):
+    """Eq. (9): P = r I^2 + a I (Th - Tc)."""
+    n = tec.n_devices
+    state = np.zeros(n)
+    state[0] = 1.0
+    t_cold = np.full(n, 360.0)
+    t_hot = np.full(n, 350.0)
+    p = tec.electrical_power_w(state, t_cold, t_hot)
+    expected = tec.joule_w + tec.alpha_i * (350.0 - 360.0)
+    assert p[0] == pytest.approx(expected)
+    assert np.all(p[1:] == 0.0)
+
+
+def test_fractional_activation_scales_power(tec):
+    n = tec.n_devices
+    t = np.full(n, 350.0)
+    full = tec.electrical_power_w(np.ones(n), t, t)
+    half = tec.electrical_power_w(np.full(n, 0.5), t, t)
+    np.testing.assert_allclose(half, 0.5 * full)
+
+
+def test_activation_bounds_checked(tec):
+    n = tec.n_devices
+    t = np.full(n, 350.0)
+    with pytest.raises(ConfigurationError):
+        tec.electrical_power_w(np.full(n, 1.5), t, t)
+    with pytest.raises(ConfigurationError):
+        tec.electrical_power_w(np.full(n, -0.1), t, t)
+    with pytest.raises(ConfigurationError):
+        tec.electrical_power_w(np.ones(n - 1), t[:-1], t[:-1])
+
+
+def test_cold_side_temperature_weighted(tec, chip):
+    t_comp = np.arange(chip.n_components, dtype=float) + 300.0
+    cold = tec.cold_side_temperature_k(t_comp)
+    p = tec.placements[0]
+    expected = float(np.dot(p.weights, t_comp[p.component_idx]))
+    assert cold[0] == pytest.approx(expected)
+
+
+def test_grid_must_fit_tile(chip):
+    big = TECDeviceSpec(size_mm=2.0)
+    with pytest.raises(ConfigurationError):
+        build_tec_array(chip, device=big, grid=(3, 3))
+
+
+def test_invalid_grid_rejected(chip):
+    with pytest.raises(ConfigurationError):
+        build_tec_array(chip, grid=(0, 3))
+
+
+def test_custom_grid(chip):
+    arr = build_tec_array(chip, grid=(2, 2))
+    assert arr.devices_per_tile == 4
+    assert arr.n_devices == 4 * chip.n_tiles

@@ -1,0 +1,151 @@
+"""Simulation engine: loop mechanics, priming, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import FanOnlyController, FanTECController
+from repro.core.engine import EngineConfig, SimulationEngine, run_fan_sweep
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.tecfan import TECfanController
+from repro.exceptions import ConfigurationError
+from repro.perf.workload import Phase, Workload, WorkloadRun
+
+
+def small_workload(chip, inst=4_000_000, noise=0.0):
+    return Workload(
+        name="unit",
+        threads=chip.n_tiles,
+        total_instructions=inst,
+        ff_instructions=0,
+        ipc_at_ref=0.5,
+        activity=0.7,
+        active_tiles=tuple(range(chip.n_tiles)),
+        phases=(Phase(1.0),),
+        activity_noise_sigma=noise,
+    )
+
+
+@pytest.fixture()
+def engine(system2):
+    return SimulationEngine(
+        system2,
+        EnergyProblem(t_threshold_c=100.0),
+        EngineConfig(dt_lower_s=2e-3, max_time_s=1.0, priming_intervals=3),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        EngineConfig(dt_lower_s=0.0)
+    with pytest.raises(ConfigurationError):
+        EngineConfig(dt_lower_s=1.0, fan_period_s=0.5)
+
+
+def test_run_completes_workload(engine, system2):
+    wl = small_workload(system2.chip)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanOnlyController())
+    assert res.metrics.instructions == pytest.approx(
+        wl.total_instructions, rel=1e-6
+    )
+    # Analytic completion time: inst/thread / (ipc * f).
+    expected = (wl.total_instructions / 2) / (0.5 * 2.0e9)
+    assert res.metrics.execution_time_s == pytest.approx(expected, rel=1e-3)
+
+
+def test_energy_is_power_integral(engine, system2):
+    wl = small_workload(system2.chip)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanOnlyController())
+    tr = res.trace
+    assert res.metrics.energy_j == pytest.approx(
+        float((tr.p_chip_w * tr.dt_s).sum())
+    )
+    assert res.metrics.average_power_w == pytest.approx(
+        res.metrics.energy_j / res.metrics.execution_time_s
+    )
+
+
+def test_fractional_last_interval(engine, system2):
+    """Delay must not be quantized to whole control periods."""
+    wl = small_workload(system2.chip, inst=4_100_000)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanOnlyController())
+    expected = (wl.total_instructions / 2) / (0.5 * 2.0e9)
+    assert res.metrics.execution_time_s == pytest.approx(expected, rel=1e-6)
+    assert res.trace.dt_s[-1] < engine.config.dt_lower_s
+
+
+def test_chip_power_includes_fan_and_tec(engine, system2):
+    wl = small_workload(system2.chip)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanTECController())
+    tr = res.trace
+    np.testing.assert_allclose(
+        tr.p_chip_w, tr.p_cores_w + tr.p_tec_w + tr.p_fan_w
+    )
+    np.testing.assert_allclose(tr.p_fan_w, system2.fan.power_w(1))
+
+
+def test_avg_outputs_exposed(engine, system2):
+    wl = small_workload(system2.chip)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanOnlyController())
+    assert res.avg_p_components_w.shape == (system2.nodes.n_components,)
+    assert res.avg_tec.shape == (system2.n_tec_devices,)
+    assert res.avg_p_components_w.sum() == pytest.approx(
+        np.average(res.trace.p_cores_w, weights=res.trace.dt_s), rel=1e-6
+    )
+
+
+def test_priming_starts_converged(system2):
+    """With priming, the recorded run must not show a cold-start ramp."""
+    wl = small_workload(system2.chip, inst=40_000_000)  # ~10 intervals
+    cfg = EngineConfig(dt_lower_s=2e-3, max_time_s=1.0, priming_intervals=10)
+    engine = SimulationEngine(system2, EnergyProblem(t_threshold_c=100.0), cfg)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanOnlyController())
+    peaks = res.trace.peak_temp_c
+    assert abs(peaks[0] - peaks[4]) < 1.0  # flat from the first interval
+
+
+def test_engine_honours_initial_fan_level(engine, system2):
+    wl = small_workload(system2.chip)
+    state = ActuatorState.initial(
+        system2.n_tec_devices, system2.n_cores, system2.dvfs.max_level,
+        fan_level=3,
+    )
+    res = engine.run(
+        WorkloadRun(wl, system2.chip, 2.0),
+        FanOnlyController(),
+        initial_state=state,
+    )
+    assert np.all(res.trace.fan_level == 3)
+
+
+def test_tecfan_gets_banded_estimator(engine, system2):
+    from repro.core.local_estimator import LocalBandedEstimator
+
+    wl = small_workload(system2.chip)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), TECfanController())
+    assert isinstance(res.estimator, LocalBandedEstimator)
+
+
+def test_max_time_cap(system2):
+    wl = small_workload(system2.chip, inst=10**12)  # would run ~1000 s
+    cfg = EngineConfig(dt_lower_s=2e-3, max_time_s=0.02, priming_intervals=0)
+    engine = SimulationEngine(system2, EnergyProblem(t_threshold_c=100.0), cfg)
+    res = engine.run(WorkloadRun(wl, system2.chip, 2.0), FanOnlyController())
+    assert res.metrics.execution_time_s <= 0.02 + 2e-3
+
+
+def test_fan_sweep_selection(system2):
+    """The sweep must pick a slower level than 1 when the policy holds
+    the constraint there (minimum energy among qualifying levels)."""
+    wl = small_workload(system2.chip)
+    cfg = EngineConfig(dt_lower_s=2e-3, max_time_s=1.0, priming_intervals=3)
+    # Generous threshold: every level qualifies -> slowest fan wins on
+    # energy for a no-knob policy.
+    engine = SimulationEngine(system2, EnergyProblem(t_threshold_c=120.0), cfg)
+    chosen, sweep = run_fan_sweep(
+        engine,
+        lambda: WorkloadRun(wl, system2.chip, 2.0),
+        FanOnlyController(),
+    )
+    assert len(sweep) == system2.fan.n_levels
+    assert chosen.metrics.fan_level == system2.fan.n_levels

@@ -1,0 +1,84 @@
+"""Trace/metrics export utilities."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.export import (
+    TRACE_COLUMNS,
+    metrics_to_dict,
+    metrics_to_json,
+    trace_to_csv,
+    trace_to_rows,
+)
+from repro.core.metrics import RunMetrics
+from repro.core.trace import TraceRecorder
+
+
+@pytest.fixture()
+def trace():
+    tr = TraceRecorder()
+    for i in range(3):
+        tr.append(
+            time_s=i * 2e-3,
+            dt_s=2e-3,
+            peak_temp_c=80.0 + i,
+            p_chip_w=100.0,
+            p_cores_w=85.0,
+            p_tec_w=0.6,
+            p_fan_w=14.4,
+            ips_chip=1e9,
+            tec_on=i,
+            fan_level=2,
+            mean_dvfs_level=5.0,
+        )
+    return tr
+
+
+@pytest.fixture()
+def metrics():
+    return RunMetrics(
+        policy="TECfan",
+        workload="lu",
+        fan_level=2,
+        execution_time_s=0.02,
+        average_power_w=100.0,
+        energy_j=2.0,
+        peak_temp_c=85.0,
+        violation_rate=0.01,
+        instructions=4e8,
+    )
+
+
+def test_rows_roundtrip(trace):
+    rows = trace_to_rows(trace)
+    assert len(rows) == 3
+    assert rows[1]["peak_temp_c"] == 81.0
+    assert set(rows[0]) == set(TRACE_COLUMNS)
+
+
+def test_csv_parses_back(trace, tmp_path):
+    path = tmp_path / "trace.csv"
+    text = trace_to_csv(trace, path)
+    assert path.read_text() == text
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == 3
+    assert float(parsed[2]["peak_temp_c"]) == 82.0
+    assert list(parsed[0]) == list(TRACE_COLUMNS)
+
+
+def test_metrics_dict_derived_fields(metrics):
+    d = metrics_to_dict(metrics)
+    assert d["edp"] == pytest.approx(2.0 * 0.02)
+    assert d["epi"] == pytest.approx(2.0 / 4e8)
+    assert d["policy"] == "TECfan"
+
+
+def test_metrics_json_roundtrip(metrics, tmp_path):
+    path = tmp_path / "metrics.json"
+    text = metrics_to_json(metrics, path)
+    parsed = json.loads(path.read_text())
+    assert parsed == json.loads(text)
+    assert parsed["workload"] == "lu"

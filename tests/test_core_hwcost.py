@@ -1,0 +1,56 @@
+"""Sec. III-E hardware cost model."""
+
+import pytest
+
+from repro.core.hwcost import (
+    HardwareCostModel,
+    paper_single_multiplier_cost,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_paper_multiplier_count():
+    """M x K = 18 x 3 = 54 (Sec. III-E)."""
+    assert HardwareCostModel().multipliers == 54
+
+
+def test_paper_single_multiplier_numbers():
+    s = paper_single_multiplier_cost()
+    assert s["area_mm2"] == pytest.approx(0.057)
+    assert s["area_overhead_pct"] == pytest.approx(0.0285)  # "only 0.03%"
+    assert s["power_w"] == pytest.approx(0.0319, abs=1e-3)  # "only 0.03 W"
+
+
+def test_under_paper_overhead_bound():
+    m = HardwareCostModel()
+    assert m.area_overhead < 0.017
+    assert m.power_overhead < 0.017
+
+
+def test_area_scales_quadratically_with_width():
+    m8 = HardwareCostModel(multiplier_bits=8)
+    m16 = HardwareCostModel(multiplier_bits=16)
+    assert m16.total_area_mm2 == pytest.approx(4 * m8.total_area_mm2)
+
+
+def test_multiplications_per_decision():
+    m = HardwareCostModel()
+    assert m.multiplications_per_decision(16, 100) == 54 * 100
+
+
+def test_summary_keys():
+    keys = set(HardwareCostModel().summary())
+    assert {
+        "multipliers",
+        "area_mm2",
+        "area_overhead_pct",
+        "power_w",
+        "power_overhead_pct",
+    } == keys
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HardwareCostModel(components_per_core=0)
+    with pytest.raises(ConfigurationError):
+        HardwareCostModel(multiplier_bits=128)

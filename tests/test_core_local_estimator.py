@@ -1,0 +1,103 @@
+"""Banded one-core-at-a-time hardware estimator (Sec. III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import NextIntervalEstimator
+from repro.core.local_estimator import (
+    HW_TEMP_STEP_K,
+    LocalBandedEstimator,
+    _quantize,
+)
+from repro.core.state import ActuatorState
+from repro.exceptions import ControlError
+from repro.perf.ips import IPSTracker
+
+
+def primed_pair(system, state):
+    """A banded and a full estimator primed with identical measurements."""
+    n_comp = system.nodes.n_components
+    temps = np.full(n_comp, 70.0)
+    p_dyn = np.full(n_comp, 0.15)
+    ips = np.full(system.n_cores, 1.2e9)
+    band = LocalBandedEstimator(
+        system=system, ips_predictor=IPSTracker(system.dvfs)
+    )
+    full = NextIntervalEstimator(
+        system=system, ips_predictor=IPSTracker(system.dvfs)
+    )
+    for est in (band, full):
+        est.begin_interval(temps, p_dyn, ips, state, 2e-3)
+    return band, full
+
+
+def test_quantization_half_degree():
+    t = np.array([345.12, 345.26])
+    q = _quantize(t)
+    np.testing.assert_allclose(q % HW_TEMP_STEP_K, 0.0, atol=1e-9)
+    np.testing.assert_allclose(q, t, atol=HW_TEMP_STEP_K / 2 + 1e-9)
+
+
+def test_evaluate_before_begin_raises(system2, base_state2):
+    est = LocalBandedEstimator(
+        system=system2, ips_predictor=IPSTracker(system2.dvfs)
+    )
+    with pytest.raises(ControlError):
+        est.evaluate(base_state2)
+
+
+def test_agrees_with_full_model_near_steady(system2, base_state2):
+    """At the applied configuration the banded prediction must stay
+    within ~1.5 K of the full model (quantization + locality error)."""
+    band, full = primed_pair(system2, base_state2)
+    eb = band.evaluate(base_state2)
+    ef = full.evaluate(base_state2)
+    assert abs(eb.peak_temp_c - ef.peak_temp_c) < 1.5
+
+
+def test_candidate_sensitivity_direction(system2, base_state2):
+    """Local what-ifs move temperature in the physically right way."""
+    band, _ = primed_pair(system2, base_state2)
+    e0 = band.evaluate(base_state2)
+    hotter = band.evaluate(base_state2)  # baseline
+    lower = band.evaluate(base_state2.with_dvfs(0, 0))
+    assert lower.p_cores_w < e0.p_cores_w
+    tec_on = base_state2.with_tec(0, 1.0)
+    e_tec = band.evaluate(tec_on)
+    assert e_tec.p_tec_w > 0.0
+
+
+def test_only_changed_cores_resolved(system2, base_state2):
+    band, _ = primed_pair(system2, base_state2)
+    band.evaluate(base_state2)  # builds the base prediction (N solves)
+    n0 = band.n_core_solves
+    band.evaluate(base_state2.with_dvfs(0, 4))
+    assert band.n_core_solves == n0 + 1  # exactly one core re-solved
+    band.evaluate(base_state2.with_dvfs(0, 4).with_dvfs(1, 4))
+    assert band.n_core_solves == n0 + 3  # two more for the 2-core diff
+
+
+def test_memoized(system2, base_state2):
+    band, _ = primed_pair(system2, base_state2)
+    band.evaluate(base_state2)
+    n = band.n_evaluations
+    band.evaluate(base_state2)
+    assert band.n_evaluations == n
+
+
+def test_fan_estimate_uses_full_model(system2, base_state2):
+    band, full = primed_pair(system2, base_state2)
+    p = np.full(system2.nodes.n_components, 0.15)
+    tec = np.zeros(system2.n_tec_devices)
+    assert band.evaluate_fan_setting(p, tec, 2) == pytest.approx(
+        full.evaluate_fan_setting(p, tec, 2)
+    )
+
+
+def test_observer_boots_from_anchor(system2, base_state2):
+    """First begin_interval must not leave spreader/sink at ambient (the
+    bug class this estimator had: a frozen-cold boundary biases every
+    local solve)."""
+    band, _ = primed_pair(system2, base_state2)
+    rest = band._t_nodes_k[system2.nodes.spreader_slice]
+    assert np.all(rest > system2.package.ambient_k + 1.0)

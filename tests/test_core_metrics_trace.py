@@ -1,0 +1,88 @@
+"""Trace recording and run metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import RunMetrics, summarize
+from repro.core.problem import EnergyProblem
+from repro.core.trace import TraceRecorder
+
+
+def filled_trace(peaks, dt=2e-3, power=100.0):
+    tr = TraceRecorder()
+    for i, p in enumerate(peaks):
+        tr.append(
+            time_s=i * dt,
+            dt_s=dt,
+            peak_temp_c=p,
+            p_chip_w=power,
+            p_cores_w=power - 15.0,
+            p_tec_w=0.6,
+            p_fan_w=14.4,
+            ips_chip=1e9,
+            tec_on=3,
+            fan_level=1,
+            mean_dvfs_level=5.0,
+        )
+    return tr
+
+
+def test_trace_columns():
+    tr = filled_trace([80.0, 81.0])
+    assert len(tr) == 2
+    np.testing.assert_allclose(tr.peak_temp_c, [80.0, 81.0])
+    np.testing.assert_allclose(tr.p_fan_w, 14.4)
+    np.testing.assert_allclose(tr.tec_on, 3.0)
+
+
+def test_energy_integral():
+    tr = filled_trace([80.0] * 5, dt=2e-3, power=100.0)
+    assert tr.energy_j() == pytest.approx(5 * 2e-3 * 100.0)
+    assert tr.average_power_w() == pytest.approx(100.0)
+
+
+def test_summarize_metrics():
+    problem = EnergyProblem(t_threshold_c=85.0)
+    tr = filled_trace([80.0, 86.0, 84.0, 90.0])  # 2 of 4 violate (>85.5)
+    m = summarize(tr, problem, "P", "wl", fan_level=1, instructions=4e6)
+    assert m.execution_time_s == pytest.approx(8e-3)
+    assert m.peak_temp_c == pytest.approx(90.0)
+    assert m.violation_rate == pytest.approx(0.5)
+    assert m.epi == pytest.approx(m.energy_j / 4e6)
+    assert m.edp == pytest.approx(m.energy_j * m.execution_time_s)
+
+
+def test_violation_margin_in_counting():
+    problem = EnergyProblem(t_threshold_c=85.0)  # margin 0.5 default
+    tr = filled_trace([85.2, 85.4, 85.6])
+    m = summarize(tr, problem, "P", "wl", 1, 1e6)
+    assert m.violation_rate == pytest.approx(1 / 3)
+
+
+def test_normalized_to():
+    problem = EnergyProblem(t_threshold_c=85.0)
+    base = summarize(filled_trace([80.0] * 4, power=100.0), problem,
+                     "base", "wl", 1, 1e6)
+    half = summarize(filled_trace([80.0] * 4, power=50.0), problem,
+                     "half", "wl", 1, 1e6)
+    n = half.normalized_to(base)
+    assert n["power"] == pytest.approx(0.5)
+    assert n["energy"] == pytest.approx(0.5)
+    assert n["delay"] == pytest.approx(1.0)
+    assert n["edp"] == pytest.approx(0.5)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        summarize(TraceRecorder(), EnergyProblem(t_threshold_c=85.0),
+                  "P", "wl", 1, 1.0)
+
+
+def test_variable_dt_weighting():
+    tr = TraceRecorder()
+    tr.append(0.0, 1.0, 80.0, 100.0, 85.0, 0.6, 14.4, 1e9, 0, 1, 5.0)
+    tr.append(1.0, 3.0, 90.0, 20.0, 5.0, 0.6, 14.4, 1e9, 0, 1, 5.0)
+    assert tr.average_power_w() == pytest.approx((100 + 3 * 20) / 4)
+    problem = EnergyProblem(t_threshold_c=85.0)
+    m = summarize(tr, problem, "P", "wl", 1, 1e6)
+    assert m.violation_rate == pytest.approx(3.0 / 4.0)  # time-weighted

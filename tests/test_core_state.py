@@ -1,0 +1,75 @@
+"""ActuatorState: immutability and candidate construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import ActuatorState
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def state():
+    return ActuatorState.initial(
+        n_devices=6, n_cores=2, max_dvfs_level=5, fan_level=1
+    )
+
+
+def test_initial_is_base_scenario(state):
+    assert state.tec_on_count == 0
+    assert np.all(state.dvfs == 5)
+    assert state.fan_level == 1
+
+
+def test_arrays_frozen(state):
+    with pytest.raises(ValueError):
+        state.tec[0] = 1.0
+    with pytest.raises(ValueError):
+        state.dvfs[0] = 0
+
+
+def test_with_tec_copies(state):
+    s2 = state.with_tec(3, 1.0)
+    assert s2.tec[3] == 1.0
+    assert state.tec[3] == 0.0
+    assert s2.tec_on_count == 1
+
+
+def test_with_dvfs_copies(state):
+    s2 = state.with_dvfs(1, 2)
+    assert s2.dvfs[1] == 2
+    assert state.dvfs[1] == 5
+
+
+def test_with_fan(state):
+    assert state.with_fan(4).fan_level == 4
+
+
+def test_with_vectors(state):
+    s2 = state.with_tec_vector(np.ones(6)).with_dvfs_vector(np.zeros(2))
+    assert s2.tec_on_count == 6
+    assert np.all(s2.dvfs == 0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ActuatorState(tec=np.array([1.5]), dvfs=np.array([0]), fan_level=1)
+    with pytest.raises(ConfigurationError):
+        ActuatorState(tec=np.array([0.0]), dvfs=np.array([0]), fan_level=0)
+
+
+def test_key_identity(state):
+    assert state.key() == state.with_fan(1).key()
+    assert state.key() != state.with_fan(2).key()
+    assert state.key() != state.with_tec(0, 1.0).key()
+
+
+def test_tec_on_mask_fractional():
+    s = ActuatorState(
+        tec=np.array([0.0, 0.4, 0.6, 1.0]),
+        dvfs=np.array([5]),
+        fan_level=1,
+    )
+    np.testing.assert_array_equal(
+        s.tec_on_mask(), [False, False, True, True]
+    )
+    assert s.tec_on_count == 2

@@ -1,0 +1,59 @@
+"""CMPSystem bundle construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import ActuatorState
+from repro.core.system import build_system
+from repro.power.dvfs import I7_DVFS
+
+
+def test_default_is_paper_platform(system16):
+    assert system16.n_cores == 16
+    assert system16.n_tec_devices == 144  # 16 x 9
+    assert system16.nodes.n_nodes == 16 * 18 + 16 + 16
+
+
+def test_small_variants(system2, system4):
+    assert system2.n_cores == 2
+    assert system4.n_cores == 4
+
+
+def test_custom_dvfs_table():
+    s = build_system(rows=1, cols=2, dvfs=I7_DVFS)
+    assert s.dvfs is I7_DVFS
+
+
+def test_power_models_scaled_by_tile_count(system2, system16):
+    p2 = system2.power.component_power.chip_peak_dynamic_w
+    p16 = system16.power.component_power.chip_peak_dynamic_w
+    assert p16 == pytest.approx(8 * p2)
+
+
+def test_uniform_initial_field(system2):
+    t = system2.uniform_initial_temps_k()
+    np.testing.assert_allclose(t, system2.package.ambient_k)
+
+
+def test_component_temps_c(system2):
+    t = system2.uniform_initial_temps_k()
+    c = system2.component_temps_c(t)
+    assert c.shape == (system2.nodes.n_components,)
+    np.testing.assert_allclose(c, system2.package.ambient_c)
+
+
+def test_tec_power_all_off_is_zero(system2):
+    t = system2.uniform_initial_temps_k()
+    assert system2.tec_power_w(np.zeros(system2.n_tec_devices), t) == 0.0
+
+
+def test_tec_power_eq9_total(system2):
+    """All on at a uniform field: P = L * I^2 r (no gradient term)."""
+    t = system2.uniform_initial_temps_k()
+    p = system2.tec_power_w(np.ones(system2.n_tec_devices), t)
+    assert p == pytest.approx(system2.n_tec_devices * system2.tec.joule_w)
+
+
+def test_shared_solver_instances(system2):
+    assert system2.solver.model is system2.cond
+    assert system2.plant_thermal.solver is system2.solver

@@ -1,0 +1,161 @@
+"""TECfan heuristic: hot/cool iterations, ordering, fan loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import NextIntervalEstimator
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.tecfan import TECfanController
+from repro.perf.ips import IPSTracker
+
+
+def primed_estimator(system, state, temps_c, p_dyn_scale=1.0, ips=1.2e9):
+    est = NextIntervalEstimator(
+        system=system, ips_predictor=IPSTracker(system.dvfs)
+    )
+    n_comp = system.nodes.n_components
+    p_dyn = np.full(n_comp, 0.15 * p_dyn_scale)
+    est.begin_interval(
+        np.full(n_comp, temps_c),
+        p_dyn,
+        np.full(system.n_cores, ips),
+        state,
+        2e-3,
+    )
+    return est
+
+
+@pytest.fixture()
+def controller():
+    # Full-model estimator keeps these unit tests deterministic & fast.
+    return TECfanController(estimator_kind="full")
+
+
+def test_cool_chip_stays_at_max_dvfs(system2, base_state2, controller):
+    """Well below threshold nothing should change: all cores already at
+    max, no TECs on, nothing to save."""
+    est = primed_estimator(system2, base_state2, temps_c=60.0)
+    problem = EnergyProblem(t_threshold_c=95.0)
+    out = controller.decide(base_state2, np.full(
+        system2.nodes.n_components, 60.0), est, problem)
+    assert np.all(out.dvfs == system2.dvfs.max_level)
+    assert out.tec_on_count == 0
+
+
+def test_hot_iteration_turns_tecs_on_first(system2, base_state2, controller):
+    """Paper: 'our algorithm starts with turning on TEC devices'."""
+    est = primed_estimator(system2, base_state2, temps_c=70.0,
+                           p_dyn_scale=2.0)
+    e0 = est.evaluate(base_state2)
+    # Threshold just below the predicted peak: mild violation
+    # (slightly beyond the 0.5 degC guard band).
+    problem = EnergyProblem(t_threshold_c=e0.peak_temp_c - 0.7)
+    out = controller.decide(
+        base_state2,
+        np.full(system2.nodes.n_components, 70.0),
+        est,
+        problem,
+    )
+    assert out.tec_on_count > 0
+    # TECs engage before any deep throttling: at most one DVFS step.
+    assert np.mean(system2.dvfs.max_level - out.dvfs) <= 1.0
+
+
+def test_hot_iteration_falls_back_to_dvfs(system2, base_state2, controller):
+    """When TECs cannot close the gap, DVFS lowering engages."""
+    est = primed_estimator(system2, base_state2, temps_c=80.0,
+                           p_dyn_scale=4.0)
+    e0 = est.evaluate(base_state2)
+    problem = EnergyProblem(t_threshold_c=e0.peak_temp_c - 12.0)
+    out = controller.decide(
+        base_state2,
+        np.full(system2.nodes.n_components, 80.0),
+        est,
+        problem,
+    )
+    assert np.any(out.dvfs < system2.dvfs.max_level)
+    e1 = est.evaluate(out)
+    assert e1.peak_temp_c < e0.peak_temp_c
+
+
+def test_cool_iteration_raises_throttled_cores(system2, controller):
+    """Performance priority: a throttled core comes back up when the
+    temperature allows."""
+    throttled = ActuatorState.initial(
+        system2.n_tec_devices, system2.n_cores, system2.dvfs.max_level, 1
+    ).with_dvfs_vector(np.zeros(system2.n_cores, dtype=int))
+    est = primed_estimator(system2, throttled, temps_c=55.0)
+    problem = EnergyProblem(t_threshold_c=95.0)
+    out = controller.decide(
+        throttled,
+        np.full(system2.nodes.n_components, 55.0),
+        est,
+        problem,
+    )
+    assert np.all(out.dvfs > 0)
+
+
+def test_cool_iteration_turns_off_useless_tecs(system2, controller):
+    """With temps far below threshold, running TECs is wasted energy."""
+    all_on = ActuatorState.initial(
+        system2.n_tec_devices, system2.n_cores, system2.dvfs.max_level, 1
+    ).with_tec_vector(np.ones(system2.n_tec_devices))
+    est = primed_estimator(system2, all_on, temps_c=55.0)
+    problem = EnergyProblem(t_threshold_c=95.0)
+    out = controller.decide(
+        all_on, np.full(system2.nodes.n_components, 55.0), est, problem
+    )
+    assert out.tec_on_count < system2.n_tec_devices
+
+
+def test_dvfs_first_ablation_prefers_throttling(system2, base_state2):
+    """tec_first=False must reach for DVFS before TECs."""
+    ctrl = TECfanController(estimator_kind="full", tec_first=False)
+    est = primed_estimator(system2, base_state2, temps_c=70.0,
+                           p_dyn_scale=2.0)
+    e0 = est.evaluate(base_state2)
+    problem = EnergyProblem(t_threshold_c=e0.peak_temp_c - 1.0)
+    out = ctrl.decide(
+        base_state2, np.full(system2.nodes.n_components, 70.0), est, problem
+    )
+    assert np.any(out.dvfs < system2.dvfs.max_level)
+
+
+def test_fan_loop_slows_when_cool(system2, base_state2, controller):
+    est = primed_estimator(system2, base_state2, temps_c=50.0)
+    problem = EnergyProblem(t_threshold_c=95.0)
+    avg_p = np.full(system2.nodes.n_components, 0.05)
+    level = controller.decide_fan(
+        base_state2, avg_p, np.zeros(system2.n_tec_devices), est, problem
+    )
+    assert level > 1
+
+
+def test_fan_loop_speeds_up_when_hot(system2, controller):
+    state = ActuatorState.initial(
+        system2.n_tec_devices, system2.n_cores, system2.dvfs.max_level,
+        fan_level=4,
+    )
+    est = primed_estimator(system2, state, temps_c=80.0, p_dyn_scale=3.0)
+    avg_p = np.full(system2.nodes.n_components, 0.45)
+    # Threshold low enough that level 4 is estimated hot.
+    peak4 = est.evaluate_fan_setting(
+        avg_p, np.zeros(system2.n_tec_devices), 4
+    )
+    problem = EnergyProblem(t_threshold_c=peak4 - 2.0)
+    level = controller.decide_fan(
+        state, avg_p, np.zeros(system2.n_tec_devices), est, problem
+    )
+    assert level < 4
+
+
+def test_iteration_counters(system2, base_state2, controller):
+    controller.reset()
+    est = primed_estimator(system2, base_state2, temps_c=60.0)
+    problem = EnergyProblem(t_threshold_c=95.0)
+    controller.decide(
+        base_state2, np.full(system2.nodes.n_components, 60.0), est, problem
+    )
+    assert controller.n_cool_iterations > 0
+    assert controller.n_hot_iterations == 0

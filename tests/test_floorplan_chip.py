@@ -1,0 +1,88 @@
+"""Chip-level floorplans: tile arrays, adjacency, lookups."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FloorplanError
+from repro.floorplan.chip import build_chip
+from repro.floorplan.core_tile import COMPONENTS_PER_TILE
+
+
+def test_paper_chip_dimensions(chip16):
+    """Fig. 3: 10.4 mm x 14.4 mm, 4 x 4 core tile array."""
+    assert chip16.chip_width_mm == pytest.approx(10.4)
+    assert chip16.chip_height_mm == pytest.approx(14.4)
+    assert chip16.n_tiles == 16
+    assert chip16.n_components == 16 * COMPONENTS_PER_TILE
+
+
+def test_invalid_grid_rejected():
+    with pytest.raises(FloorplanError):
+        build_chip(rows=0, cols=4)
+
+
+def test_tile_origin_row_major(chip16):
+    assert chip16.tile_origin(0) == (0.0, 0.0)
+    assert chip16.tile_origin(1) == (pytest.approx(2.6), 0.0)
+    assert chip16.tile_origin(4) == (0.0, pytest.approx(3.6))
+
+
+def test_tile_slice_partitions_components(chip16):
+    seen = set()
+    for t in range(chip16.n_tiles):
+        s = chip16.tile_slice(t)
+        idx = set(range(s.start, s.stop))
+        assert not (idx & seen)
+        seen |= idx
+    assert seen == set(range(chip16.n_components))
+
+
+def test_tile_neighbours_grid(chip16):
+    assert sorted(chip16.tile_neighbours(0)) == [1, 4]
+    assert sorted(chip16.tile_neighbours(5)) == [1, 4, 6, 9]
+    assert sorted(chip16.tile_neighbours(15)) == [11, 14]
+
+
+def test_component_tile_membership(chip16):
+    tile_of = chip16.tile_of()
+    for t in range(chip16.n_tiles):
+        s = chip16.tile_slice(t)
+        assert np.all(tile_of[s] == t)
+
+
+def test_index_of(chip16):
+    idx = chip16.index_of("tile5.IntExec")
+    assert chip16.components[idx].name == "tile5.IntExec"
+    with pytest.raises(KeyError):
+        chip16.index_of("tile99.Nothing")
+
+
+def test_adjacency_is_symmetric_ordered(chip2):
+    for adj in chip2.adjacencies:
+        assert adj.i < adj.j
+        assert adj.shared_edge_mm > 0
+        assert adj.center_distance_mm > 0
+
+
+def test_cross_tile_adjacency_exists(chip2):
+    """The die is continuous silicon: components of neighbouring tiles
+    that share the tile boundary must be thermally coupled."""
+    cross = [
+        adj
+        for adj in chip2.adjacencies
+        if chip2.components[adj.i].tile != chip2.components[adj.j].tile
+    ]
+    assert cross, "no cross-tile adjacency found"
+
+
+def test_areas_and_weights_align(chip2):
+    assert chip2.areas_mm2().shape == (chip2.n_components,)
+    assert chip2.power_weights().shape == (chip2.n_components,)
+    assert np.all(chip2.areas_mm2() > 0)
+    assert np.all(chip2.power_weights() > 0)
+
+
+def test_chip_area_consistency(chip16):
+    assert chip16.chip_area_mm2 == pytest.approx(
+        chip16.areas_mm2().sum(), rel=1e-9
+    )

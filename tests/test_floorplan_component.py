@@ -1,0 +1,84 @@
+"""Geometry primitives: rectangles, adjacency, overlap."""
+
+import pytest
+
+from repro.exceptions import FloorplanError
+from repro.floorplan.component import Component, ComponentCategory
+
+
+def make(name, x, y, w, h, tile=0):
+    return Component(
+        name=name,
+        x=x,
+        y=y,
+        width=w,
+        height=h,
+        category=ComponentCategory.INT_LOGIC,
+        tile=tile,
+    )
+
+
+def test_area_and_edges():
+    c = make("a", 1.0, 2.0, 3.0, 4.0)
+    assert c.area_mm2 == pytest.approx(12.0)
+    assert c.x2 == pytest.approx(4.0)
+    assert c.y2 == pytest.approx(6.0)
+    assert c.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+
+def test_nonpositive_size_rejected():
+    with pytest.raises(FloorplanError):
+        make("bad", 0, 0, 0.0, 1.0)
+    with pytest.raises(FloorplanError):
+        make("bad", 0, 0, 1.0, -1.0)
+
+
+def test_shared_edge_vertical_contact():
+    a = make("a", 0, 0, 1, 2)
+    b = make("b", 1, 0.5, 1, 2)  # touches a's right edge, y overlap 1.5
+    assert a.shared_edge_length(b) == pytest.approx(1.5)
+    assert b.shared_edge_length(a) == pytest.approx(1.5)
+
+
+def test_shared_edge_horizontal_contact():
+    a = make("a", 0, 0, 2, 1)
+    b = make("b", 0.5, 1, 2, 1)
+    assert a.shared_edge_length(b) == pytest.approx(1.5)
+
+
+def test_corner_contact_is_not_adjacency():
+    a = make("a", 0, 0, 1, 1)
+    b = make("b", 1, 1, 1, 1)  # corner only
+    assert a.shared_edge_length(b) == 0.0
+
+
+def test_disjoint_components_share_nothing():
+    a = make("a", 0, 0, 1, 1)
+    b = make("b", 5, 5, 1, 1)
+    assert a.shared_edge_length(b) == 0.0
+
+
+def test_overlap_area():
+    a = make("a", 0, 0, 2, 2)
+    assert a.overlap_area(1, 1, 3, 3) == pytest.approx(1.0)
+    assert a.overlap_area(2, 2, 3, 3) == 0.0
+    assert a.overlap_area(-1, -1, 3, 3) == pytest.approx(4.0)
+
+
+def test_center_distance():
+    a = make("a", 0, 0, 2, 2)
+    b = make("b", 3, 0, 2, 2)
+    assert a.center_distance(b) == pytest.approx(3.0)
+
+
+def test_component_categories_cover_floorplan_needs():
+    names = {c.name for c in ComponentCategory}
+    assert {
+        "INT_LOGIC",
+        "FP_LOGIC",
+        "FETCH",
+        "L1_CACHE",
+        "L2_CACHE",
+        "ROUTER",
+        "REGULATOR",
+    } <= names

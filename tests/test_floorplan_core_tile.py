@@ -1,0 +1,74 @@
+"""The 18-component Alpha-21264-style tile (paper Fig. 3)."""
+
+import pytest
+
+from repro.floorplan.core_tile import (
+    COMPONENT_NAMES,
+    COMPONENTS_PER_TILE,
+    CORE_TILE_SPECS,
+    TILE_HEIGHT_MM,
+    TILE_WIDTH_MM,
+    spec_by_name,
+    tile_area_mm2,
+)
+
+
+def test_paper_component_count():
+    """Sec. III-E: 'we evaluate 18 processor components'."""
+    assert COMPONENTS_PER_TILE == 18
+
+
+def test_paper_tile_dimensions():
+    """Fig. 3: 2.6 mm x 3.6 mm, half of the SCC dual-core tile."""
+    assert TILE_WIDTH_MM == pytest.approx(2.6)
+    assert TILE_HEIGHT_MM == pytest.approx(3.6)
+
+
+def test_specs_tile_exactly():
+    assert tile_area_mm2() == pytest.approx(2.6 * 3.6)
+
+
+def test_expected_units_present():
+    for unit in (
+        "IntExec",
+        "IntReg",
+        "FPMul",
+        "FPAdd",
+        "Bpred",
+        "ITB",
+        "DTB",
+        "Icache",
+        "Dcache",
+        "L2",
+        "Router",
+        "VReg",
+    ):
+        assert unit in COMPONENT_NAMES
+
+
+def test_unique_names():
+    assert len(set(COMPONENT_NAMES)) == len(COMPONENT_NAMES)
+
+
+def test_specs_within_tile_bounds():
+    for s in CORE_TILE_SPECS:
+        assert 0 <= s.x and s.x + s.width <= TILE_WIDTH_MM + 1e-12
+        assert 0 <= s.y and s.y + s.height <= TILE_HEIGHT_MM + 1e-12
+
+
+def test_power_weights_positive():
+    assert all(s.power_weight > 0 for s in CORE_TILE_SPECS)
+
+
+def test_int_exec_is_the_densest_unit():
+    """The integer ALU cluster carries the highest power density —
+    that is where the hot spot forms."""
+    weights = {s.name: s.power_weight for s in CORE_TILE_SPECS}
+    assert weights["IntExec"] == max(weights.values())
+    assert weights["L2"] == min(weights.values())
+
+
+def test_spec_by_name():
+    assert spec_by_name("Router").category.value == "router"
+    with pytest.raises(KeyError):
+        spec_by_name("DoesNotExist")

@@ -1,0 +1,54 @@
+"""Floorplan validation: overlaps, holes, isolation."""
+
+import pytest
+
+from repro.exceptions import FloorplanError
+from repro.floorplan.chip import build_chip
+from repro.floorplan.component import ComponentCategory, ComponentSpec
+from repro.floorplan.validate import validate_floorplan
+
+
+def test_default_floorplans_validate():
+    for rows, cols in ((1, 2), (2, 2), (4, 4)):
+        validate_floorplan(build_chip(rows=rows, cols=cols))
+
+
+def _chip_from_specs(specs, w=2.0, h=2.0):
+    return build_chip(
+        rows=1, cols=1, tile_specs=tuple(specs),
+        tile_width_mm=w, tile_height_mm=h,
+    )
+
+
+def test_overlap_detected():
+    specs = [
+        ComponentSpec("a", 0, 0, 1.5, 2.0, ComponentCategory.INT_LOGIC),
+        ComponentSpec("b", 1.0, 0, 1.0, 2.0, ComponentCategory.FP_LOGIC),
+    ]
+    with pytest.raises(FloorplanError, match="overlap"):
+        validate_floorplan(_chip_from_specs(specs))
+
+
+def test_coverage_hole_detected():
+    specs = [
+        ComponentSpec("a", 0, 0, 1.0, 2.0, ComponentCategory.INT_LOGIC),
+        ComponentSpec("b", 1.0, 0, 0.5, 2.0, ComponentCategory.FP_LOGIC),
+    ]
+    with pytest.raises(FloorplanError, match="covered area"):
+        validate_floorplan(_chip_from_specs(specs))
+
+
+def test_out_of_bounds_detected():
+    specs = [
+        ComponentSpec("a", 0, 0, 2.5, 2.0, ComponentCategory.INT_LOGIC),
+    ]
+    with pytest.raises(FloorplanError, match="escapes tile"):
+        validate_floorplan(_chip_from_specs(specs))
+
+
+def test_valid_two_block_tile_passes():
+    specs = [
+        ComponentSpec("a", 0, 0, 1.0, 2.0, ComponentCategory.INT_LOGIC),
+        ComponentSpec("b", 1.0, 0, 1.0, 2.0, ComponentCategory.FP_LOGIC),
+    ]
+    validate_floorplan(_chip_from_specs(specs))

@@ -1,0 +1,141 @@
+"""End-to-end integration: the paper's flows at reduced scale.
+
+These exercise full stacks (plant + controller + metrics) on small
+platforms so they run in seconds; the benchmarks run the full-scale
+versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    fan_level_feasible_with_tec_assist,
+    run_base_scenario,
+)
+from repro.core.baselines import FanTECController
+from repro.core.engine import EngineConfig, SimulationEngine
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.tecfan import TECfanController
+from repro.perf.splash2 import REF_FREQ_GHZ, splash2_workload
+from repro.perf.workload import WorkloadRun
+
+
+@pytest.mark.slow
+def test_base_scenario_matches_table1_row(system16):
+    """lu/16t (the fastest Table I case) regenerates its published row."""
+    base = run_base_scenario(system16, "lu", 16)
+    assert base.time_ms == pytest.approx(20.34, rel=0.01)
+    assert base.processor_power_w == pytest.approx(109.9, abs=1.5)
+    assert base.t_threshold_c == pytest.approx(84.49, abs=1.5)
+
+
+@pytest.mark.slow
+def test_tecfan_holds_threshold_at_reduced_fan(system16):
+    """The headline behaviour: at fan level 2 the base scenario would
+    violate, TECfan does not (cholesky, the hottest workload)."""
+    base = run_base_scenario(system16, "cholesky", 16)
+    problem = EnergyProblem(t_threshold_c=base.t_threshold_c)
+    engine = SimulationEngine(
+        system16, problem, EngineConfig(max_time_s=2.0)
+    )
+    wl = splash2_workload("cholesky", 16, system16.chip)
+    state = ActuatorState.initial(
+        system16.n_tec_devices, 16, system16.dvfs.max_level, fan_level=2
+    )
+    res = engine.run(
+        WorkloadRun(wl, system16.chip, REF_FREQ_GHZ),
+        TECfanController(),
+        initial_state=state,
+    )
+    assert res.metrics.violation_rate <= 0.005
+    # And it saves energy relative to the base scenario.
+    assert res.metrics.energy_j < base.result.metrics.energy_j
+
+
+@pytest.mark.slow
+def test_fantec_recovers_one_fan_level(system16):
+    """Fig. 4(b) at unit scale: Fan+TEC at level 2 stays near the
+    threshold the level-1 base run established."""
+    base = run_base_scenario(system16, "cholesky", 16)
+    problem = EnergyProblem(t_threshold_c=base.t_threshold_c)
+    engine = SimulationEngine(system16, problem, EngineConfig(max_time_s=2.0))
+    wl = splash2_workload("cholesky", 16, system16.chip)
+    state = ActuatorState.initial(
+        system16.n_tec_devices, 16, system16.dvfs.max_level, fan_level=2
+    )
+    res = engine.run(
+        WorkloadRun(wl, system16.chip, REF_FREQ_GHZ),
+        FanTECController(),
+        initial_state=state,
+    )
+    assert res.metrics.peak_temp_c < base.t_threshold_c + 3.0
+    # No DVFS: execution time equals the base scenario's.
+    assert res.metrics.execution_time_s == pytest.approx(
+        base.result.metrics.execution_time_s, rel=1e-6
+    )
+
+
+@pytest.mark.slow
+def test_fan_assist_feasibility_ordering(system16):
+    """TEC assist extends the feasible fan range by about one level."""
+    base = run_base_scenario(system16, "cholesky", 16)
+    problem = EnergyProblem(t_threshold_c=base.t_threshold_c)
+    avg_p = base.result.avg_p_components_w
+    feas = [
+        fan_level_feasible_with_tec_assist(system16, avg_p, lv, problem)
+        for lv in range(1, system16.fan.n_levels + 1)
+    ]
+    assert feas[0]  # level 1 feasible by construction
+    assert feas[1]  # level 2 feasible thanks to the TECs (Fig. 4)
+    assert not all(feas)  # but not every level
+
+
+def test_server_mini_experiment():
+    """A 1-minute Fig. 7 slice: TECfan beats OFTEC on energy with no
+    completion delay."""
+    from repro.analysis.server_experiment import (
+        _run,
+        build_server_workload,
+    )
+    from repro.core.oracle import make_oftec
+    from repro.server.platform import build_server_system
+
+    platform = build_server_system()
+    workload = build_server_workload(platform, minutes=1)
+    oftec = _run(platform, workload, make_oftec(), minutes=1)
+    tecfan = _run(platform, workload, TECfanController(), minutes=1)
+    assert tecfan.metrics.energy_j < 0.9 * oftec.metrics.energy_j
+    assert tecfan.metrics.execution_time_s <= (
+        oftec.metrics.execution_time_s + 1.0
+    )
+
+
+def test_sensor_noise_does_not_break_control(system2):
+    """Controllers must tolerate quantized, noisy telemetry."""
+    from repro.perf.workload import Phase, Workload
+    from repro.thermal.sensors import TemperatureSensorBank
+
+    wl = Workload(
+        name="noisy",
+        threads=2,
+        total_instructions=30_000_000,
+        ff_instructions=0,
+        ipc_at_ref=0.5,
+        activity=0.8,
+        active_tiles=(0, 1),
+        phases=(Phase(1.0),),
+    )
+    cfg = EngineConfig(
+        max_time_s=1.0,
+        sensors=TemperatureSensorBank(noise_sigma_c=0.3, seed=3),
+        priming_intervals=3,
+    )
+    engine = SimulationEngine(
+        system2, EnergyProblem(t_threshold_c=80.0), cfg
+    )
+    res = engine.run(
+        WorkloadRun(wl, system2.chip, 2.0), TECfanController()
+    )
+    assert res.metrics.instructions > 0
+    assert np.isfinite(res.metrics.energy_j)

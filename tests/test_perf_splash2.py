@@ -1,0 +1,103 @@
+"""Calibrated SPLASH-2 suite: Table I bookkeeping and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.perf.splash2 import (
+    BENCHMARKS,
+    FOUR_THREAD_TILES,
+    TABLE1_CASES,
+    TABLE1_TARGETS,
+    component_profile,
+    splash2_workload,
+    table1_row,
+    thread_weights,
+)
+
+
+def test_table1_has_eight_rows():
+    assert len(TABLE1_TARGETS) == 8
+    assert len(TABLE1_CASES) == 8
+
+
+def test_published_values_verbatim():
+    row = table1_row("cholesky", 16)
+    assert row.time_ms == 48.0
+    assert row.power_w == 125.9
+    assert row.peak_temp_c == 90.07
+    assert row.instructions == 1_000_000_000
+    row = table1_row("water", 4)
+    assert row.peak_temp_c == 68.7
+
+
+def test_unknown_case_raises():
+    with pytest.raises(WorkloadError):
+        table1_row("water", 16)  # suspended in the paper, not reported
+
+
+def test_all_cases_build(chip16):
+    for name, threads in TABLE1_CASES:
+        wl = splash2_workload(name, threads, chip16)
+        assert wl.threads == threads
+        assert wl.total_instructions == table1_row(name, threads).instructions
+
+
+def test_four_thread_placement(chip16):
+    wl = splash2_workload("water", 4, chip16)
+    assert wl.active_tiles == FOUR_THREAD_TILES
+
+
+def test_profile_power_preserving(chip16):
+    """Profiles redistribute power density without changing totals."""
+    alloc = chip16.power_weights() * chip16.areas_mm2()
+    for name in BENCHMARKS:
+        prof = component_profile(chip16, name)
+        assert float((alloc * prof).sum()) == pytest.approx(
+            float(alloc.sum()), rel=1e-9
+        )
+        assert np.all(prof > 0)
+
+
+def test_volrend_is_the_most_uniform(chip16):
+    """The paper singles out volrend's uniform power density — the reason
+    Fan+DVFS beats Fan+TEC on it (Sec. V-C)."""
+    areas = chip16.areas_mm2()
+    weights = chip16.power_weights()
+
+    def density_spread(name):
+        prof = component_profile(chip16, name, 16)
+        density = prof * weights  # W per mm^2, up to a constant
+        return density.max() / density.min()
+
+    spreads = {n: density_spread(n) for n in ("cholesky", "fmm", "volrend",
+                                              "lu")}
+    assert spreads["volrend"] == min(spreads.values())
+
+
+def test_thread_weights_normalized():
+    for name in BENCHMARKS:
+        for threads in (4, 16):
+            w = thread_weights(name, threads)
+            assert len(w) == threads
+            assert np.mean(w) == pytest.approx(1.0)
+            assert min(w) > 0
+
+
+def test_imbalance_ordering():
+    """cholesky/lu are markedly imbalanced, fmm/water near-balanced."""
+    spread = lambda n: max(thread_weights(n, 16)) - min(thread_weights(n, 16))
+    assert spread("cholesky") > spread("fmm")
+    assert spread("lu") > spread("water")
+
+
+def test_ipc_accounts_for_critical_path(chip16):
+    """Execution time = slowest thread's budget / (ipc * f): the stored
+    IPC is scaled by the critical-path weight so Table I time holds."""
+    for name, threads in TABLE1_CASES:
+        wl = splash2_workload(name, threads, chip16)
+        row = table1_row(name, threads)
+        t = max(
+            wl.thread_budget(i) for i in range(threads)
+        ) / (wl.ipc_at_ref * 2.0e9)
+        assert t * 1e3 == pytest.approx(row.time_ms, rel=0.01)

@@ -1,0 +1,140 @@
+"""Workload abstraction: budgets, phases, spin semantics, noise."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.perf.workload import Phase, Workload, WorkloadRun
+
+
+def make_workload(chip, **kw):
+    defaults = dict(
+        name="synthetic",
+        threads=2,
+        total_instructions=10_000_000,
+        ff_instructions=0,
+        ipc_at_ref=0.5,
+        activity=0.8,
+        active_tiles=(0, 1),
+        activity_noise_sigma=0.0,
+    )
+    defaults.update(kw)
+    return Workload(**defaults)
+
+
+def test_validation(chip2):
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, threads=3)  # tiles mismatch
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, total_instructions=0)
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, activity=0.0)
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, phases=(Phase(0.5),))  # fractions != 1
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, thread_weights=(1.0,))
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, thread_weights=(1.0, -1.0))
+    with pytest.raises(WorkloadError):
+        make_workload(chip2, spin_activity_frac=1.5)
+
+
+def test_thread_budgets_balanced(chip2):
+    wl = make_workload(chip2)
+    assert wl.thread_budget(0) == pytest.approx(5_000_000)
+    assert wl.max_thread_weight == 1.0
+
+
+def test_thread_budgets_weighted(chip2):
+    wl = make_workload(chip2, thread_weights=(0.5, 1.5))
+    assert wl.thread_budget(0) == pytest.approx(2_500_000)
+    assert wl.thread_budget(1) == pytest.approx(7_500_000)
+    assert wl.max_thread_weight == pytest.approx(1.5)
+
+
+def test_run_advances_and_finishes(chip2):
+    wl = make_workload(chip2)
+    run = WorkloadRun(wl, chip2, ref_freq_ghz=2.0)
+    freqs = np.full(2, 2.0)
+    total = 0.0
+    while not run.finished:
+        total += run.advance(2e-3, freqs).sum()
+    assert total == pytest.approx(wl.total_instructions, rel=1e-6)
+    assert run.progress == pytest.approx(1.0)
+
+
+def test_time_to_completion_matches_analytic(chip2):
+    wl = make_workload(chip2)
+    run = WorkloadRun(wl, chip2, ref_freq_ghz=2.0)
+    expected = 5_000_000 / (0.5 * 2.0e9)
+    assert run.time_to_completion_s(np.full(2, 2.0)) == pytest.approx(
+        expected
+    )
+
+
+def test_frequency_scaling_linear(chip2):
+    """Eq. (11): halving f doubles the completion time."""
+    wl = make_workload(chip2)
+    run = WorkloadRun(wl, chip2, 2.0)
+    t_full = run.time_to_completion_s(np.full(2, 2.0))
+    t_half = run.time_to_completion_s(np.full(2, 1.0))
+    assert t_half == pytest.approx(2 * t_full)
+
+
+def test_spin_semantics(chip2):
+    """A finished thread spins: activity stays high, useful IPS drops to
+    zero — until every thread is done."""
+    wl = make_workload(chip2, thread_weights=(0.5, 1.5),
+                       spin_activity_frac=0.85)
+    run = WorkloadRun(wl, chip2, 2.0)
+    freqs = np.full(2, 2.0)
+    # Run until thread 0 (light) finishes but thread 1 hasn't.
+    while run.executed[0] < wl.thread_budget(0):
+        run.advance(1e-3, freqs)
+    assert not run.finished
+    act = run.activity_vector()
+    ips = run.ips_vector(freqs)
+    assert ips[0] == 0.0 and ips[1] > 0.0
+    assert act[0] == pytest.approx(0.85 * act[1], rel=1e-6)
+
+
+def test_phase_interpolation_smooth(chip2):
+    wl = make_workload(
+        chip2,
+        phases=(Phase(0.5, 0.9), Phase(0.5, 1.1)),
+    )
+    run = WorkloadRun(wl, chip2, 2.0)
+    freqs = np.full(2, 2.0)
+    acts = []
+    while not run.finished:
+        acts.append(run.activity_vector()[0])
+        run.advance(1e-4, freqs)
+    acts = np.asarray(acts)
+    # Monotone ramp from ~0.72 (=0.8*0.9) to ~0.88, no step jump.
+    assert acts[0] == pytest.approx(0.8 * 0.9, rel=1e-3)
+    assert acts[-1] == pytest.approx(0.8 * 1.1, rel=2e-2)
+    assert np.max(np.abs(np.diff(acts))) < 0.01
+
+
+def test_noise_reproducible_and_bounded(chip2):
+    wl = make_workload(chip2, activity_noise_sigma=0.05)
+    r1 = WorkloadRun(wl, chip2, 2.0, seed=7)
+    r2 = WorkloadRun(wl, chip2, 2.0, seed=7)
+    freqs = np.full(2, 2.0)
+    for _ in range(50):
+        r1.advance(1e-3, freqs)
+        r2.advance(1e-3, freqs)
+        assert r1.noise_multiplier == r2.noise_multiplier
+        assert abs(r1.noise_multiplier - 1.0) <= 3 * 0.05 + 1e-12
+
+
+def test_nonpositive_dt_rejected(chip2):
+    run = WorkloadRun(make_workload(chip2), chip2, 2.0)
+    with pytest.raises(WorkloadError):
+        run.advance(0.0, np.full(2, 2.0))
+
+
+def test_active_tile_out_of_range(chip2):
+    wl = make_workload(chip2, active_tiles=(0, 7), threads=2)
+    with pytest.raises(WorkloadError):
+        WorkloadRun(wl, chip2, 2.0)

@@ -1,0 +1,111 @@
+"""Plant-side component power: allocation, DVFS domains, activity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.floorplan.component import ComponentCategory
+from repro.power.component_power import (
+    ComponentPowerModel,
+    MESH_DOMAIN_CATEGORIES,
+    core_dvfs_domain_mask,
+)
+from repro.power.dvfs import SCC_DVFS
+
+
+@pytest.fixture()
+def model(chip2):
+    return ComponentPowerModel(
+        chip=chip2, dvfs=SCC_DVFS, chip_peak_dynamic_w=10.0
+    )
+
+
+def test_peak_allocation_sums_to_budget(model):
+    assert model.peak_per_component_w.sum() == pytest.approx(10.0)
+    assert np.all(model.peak_per_component_w > 0)
+
+
+def test_peak_proportional_to_weight_times_area(model, chip2):
+    alloc = chip2.power_weights() * chip2.areas_mm2()
+    np.testing.assert_allclose(
+        model.peak_per_component_w, 10.0 * alloc / alloc.sum()
+    )
+
+
+def test_full_power_at_max_dvfs_full_activity(model, chip2):
+    p = model.dynamic_power_w(
+        np.ones(chip2.n_tiles),
+        np.full(chip2.n_tiles, SCC_DVFS.max_level),
+    )
+    assert p.sum() == pytest.approx(10.0)
+
+
+def test_mesh_domain_not_scaled_by_dvfs(model, chip2):
+    """SCC's routers/L2 sit on the mesh clock: throttling a core must
+    not reduce their power."""
+    act = np.ones(chip2.n_tiles)
+    p_hi = model.dynamic_power_w(act, np.full(chip2.n_tiles, SCC_DVFS.max_level))
+    p_lo = model.dynamic_power_w(act, np.zeros(chip2.n_tiles, dtype=int))
+    mask = core_dvfs_domain_mask(chip2)
+    np.testing.assert_allclose(p_lo[~mask], p_hi[~mask])
+    assert np.all(p_lo[mask] < p_hi[mask])
+
+
+def test_mesh_domain_categories():
+    assert ComponentCategory.ROUTER in MESH_DOMAIN_CATEGORIES
+    assert ComponentCategory.L2_CACHE in MESH_DOMAIN_CATEGORIES
+    assert ComponentCategory.INT_LOGIC not in MESH_DOMAIN_CATEGORIES
+
+
+def test_idle_floor_applied(model, chip2):
+    p = model.dynamic_power_w(
+        np.zeros(chip2.n_tiles),
+        np.full(chip2.n_tiles, SCC_DVFS.max_level),
+    )
+    assert p.sum() == pytest.approx(10.0 * model.idle_activity)
+
+
+def test_activity_scales_linearly(model, chip2):
+    lv = np.full(chip2.n_tiles, SCC_DVFS.max_level)
+    p_half = model.dynamic_power_w(np.full(chip2.n_tiles, 0.5), lv)
+    p_full = model.dynamic_power_w(np.ones(chip2.n_tiles), lv)
+    np.testing.assert_allclose(p_half, 0.5 * p_full)
+
+
+def test_profile_shapes_but_preserves_total(model, chip2):
+    lv = np.full(chip2.n_tiles, SCC_DVFS.max_level)
+    act = np.ones(chip2.n_tiles)
+    from repro.perf.splash2 import component_profile
+
+    prof = component_profile(chip2, "cholesky")
+    p = model.dynamic_power_w(act, lv, prof)
+    p_flat = model.dynamic_power_w(act, lv)
+    assert p.sum() == pytest.approx(p_flat.sum(), rel=1e-9)
+    assert not np.allclose(p, p_flat)
+
+
+def test_input_validation(model, chip2):
+    lv = np.full(chip2.n_tiles, SCC_DVFS.max_level)
+    with pytest.raises(ConfigurationError):
+        model.dynamic_power_w(np.ones(chip2.n_tiles + 1), lv)
+    with pytest.raises(ConfigurationError):
+        model.dynamic_power_w(np.full(chip2.n_tiles, 1.5), lv)
+    with pytest.raises(ConfigurationError):
+        model.dynamic_power_w(
+            np.ones(chip2.n_tiles), lv, np.ones(3)
+        )
+
+
+def test_constructor_validation(chip2):
+    with pytest.raises(ConfigurationError):
+        ComponentPowerModel(chip=chip2, dvfs=SCC_DVFS, chip_peak_dynamic_w=0.0)
+    with pytest.raises(ConfigurationError):
+        ComponentPowerModel(
+            chip=chip2, dvfs=SCC_DVFS, chip_peak_dynamic_w=10.0,
+            idle_activity=1.5,
+        )
+
+
+def test_peak_core_power(model, chip2):
+    total = sum(model.peak_core_power_w(t) for t in range(chip2.n_tiles))
+    assert total == pytest.approx(10.0)

@@ -1,0 +1,88 @@
+"""Leakage models: Eq. (6) linear and quadratic plant-side."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+from repro.power.leakage import LinearLeakage, QuadraticLeakage
+
+AREAS = np.array([1.0, 2.0, 3.0, 4.0])
+
+
+@pytest.fixture()
+def linear():
+    return LinearLeakage(
+        p_tdp_leak_w=30.0, alpha_w_per_k=0.45, t_tdp_c=90.0, areas_mm2=AREAS
+    )
+
+
+def test_eq6_at_reference_point(linear):
+    """At T = T_TDP everywhere, total leakage = P_TDP_leak."""
+    t = np.full(4, linear.t_tdp_k)
+    assert linear.chip_total_w(t) == pytest.approx(30.0)
+
+
+def test_eq6_area_distribution(linear):
+    t = np.full(4, linear.t_tdp_k)
+    per = linear.per_component_w(t)
+    np.testing.assert_allclose(per, 30.0 * AREAS / AREAS.sum())
+
+
+def test_eq6_slope(linear):
+    t_hot = np.full(4, linear.t_tdp_k + 10.0)
+    assert linear.chip_total_w(t_hot) == pytest.approx(30.0 + 4.5)
+    t_cold = np.full(4, linear.t_tdp_k - 40.0)
+    assert linear.chip_total_w(t_cold) == pytest.approx(30.0 - 18.0)
+
+
+def test_eq6_per_component_temperature(linear):
+    """Eq. (6) evaluates at each component's own temperature."""
+    t = np.array([linear.t_tdp_k, linear.t_tdp_k + 20, linear.t_tdp_k,
+                  linear.t_tdp_k])
+    per = linear.per_component_w(t)
+    frac = AREAS / AREAS.sum()
+    assert per[1] == pytest.approx((30.0 + 0.45 * 20) * frac[1])
+    assert per[0] == pytest.approx(30.0 * frac[0])
+
+
+def test_leakage_never_negative(linear):
+    t = np.full(4, linear.t_tdp_k - 500.0)
+    assert np.all(linear.per_component_w(t) >= 0.0)
+
+
+def test_linear_validation():
+    with pytest.raises(ConfigurationError):
+        LinearLeakage(0.0, 0.45, 90.0, AREAS)
+    with pytest.raises(ConfigurationError):
+        LinearLeakage(30.0, -0.1, 90.0, AREAS)
+    with pytest.raises(ConfigurationError):
+        LinearLeakage(30.0, 0.45, 90.0, np.array([1.0, -1.0]))
+
+
+def test_quadratic_tangent_to_linear(linear):
+    quad = QuadraticLeakage.fit_to_linear(linear, curvature_w_per_k2=0.004)
+    t_ref = np.full(4, linear.t_tdp_k)
+    assert quad.chip_total_w(t_ref) == pytest.approx(
+        linear.chip_total_w(t_ref)
+    )
+    # Tangency: the quadratic dominates away from the reference point —
+    # the model mismatch the controller faces.
+    for dt in (-30.0, -10.0, 10.0):
+        t = t_ref + dt
+        assert quad.chip_total_w(t) >= linear.chip_total_w(t) - 1e-9
+
+
+def test_quadratic_curvature_value(linear):
+    quad = QuadraticLeakage.fit_to_linear(linear, curvature_w_per_k2=0.004)
+    t = np.full(4, linear.t_tdp_k - 20.0)
+    assert quad.chip_total_w(t) - linear.chip_total_w(t) == pytest.approx(
+        0.004 * 400.0
+    )
+
+
+def test_quadratic_validation():
+    with pytest.raises(ConfigurationError):
+        QuadraticLeakage(0.0, 0.4, 0.004, 90.0, AREAS)
+    with pytest.raises(ConfigurationError):
+        QuadraticLeakage(30.0, 0.4, 0.004, 90.0, np.array([0.0, 1.0]))

@@ -1,0 +1,53 @@
+"""The 4-core server platform of Sec. V-E."""
+
+import numpy as np
+import pytest
+
+from repro.power.dvfs import I7_DVFS
+from repro.server.platform import build_server_system
+from repro.server.server_power import ServerPowerParams
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_server_system()
+
+
+def test_four_cores(platform):
+    assert platform.system.n_cores == 4
+    assert platform.system.n_tec_devices == 36  # 9 per core
+
+
+def test_i7_dvfs_table(platform):
+    assert platform.system.dvfs is I7_DVFS
+
+
+def test_threshold_plausible(platform):
+    """Full-load peak must land in a desktop-CPU range."""
+    assert 75.0 < platform.t_threshold_c < 100.0
+
+
+def test_power_envelope_near_tdp(platform):
+    """All cores busy at max DVFS: chip power ~ TDP (77 W class)."""
+    system = platform.system
+    from repro.core.state import ActuatorState
+
+    state = ActuatorState.initial(36, 4, system.dvfs.max_level, 1)
+    p_dyn = system.power.component_power.dynamic_power_w(
+        np.ones(4), state.dvfs, None
+    )
+    t, p_leak = system.plant_thermal.solve(p_dyn, 1, state.tec)
+    total = p_dyn.sum() + p_leak.sum()
+    assert 60.0 < total < 95.0
+
+
+def test_params_defaults():
+    p = ServerPowerParams()
+    assert p.tdp_w == pytest.approx(77.0)
+    assert p.peak_ips == pytest.approx(6.0e9)
+
+
+def test_idle_floor_applied(platform):
+    assert platform.system.power.component_power.idle_activity == (
+        pytest.approx(ServerPowerParams().idle_activity)
+    )

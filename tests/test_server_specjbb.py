@@ -1,0 +1,46 @@
+"""SPECjbb quadratic performance model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.server.specjbb import DEFAULT_PERF_MODEL, QuadraticPerfModel
+
+
+def test_normalized_at_reference():
+    assert DEFAULT_PERF_MODEL.relative(3.5) == pytest.approx(1.0)
+
+
+def test_saturating_shape():
+    """Throughput gains flatten at the top: the last 0.3 GHz buys less
+    than 5% — the headroom TECfan/Oracle harvest (Sec. V-E)."""
+    m = DEFAULT_PERF_MODEL
+    assert m.relative(3.2) > 0.95
+    assert 0.5 < m.relative(1.6) < 0.7
+
+
+def test_monotone_increasing():
+    f = np.linspace(1.0, 3.5, 50)
+    rel = DEFAULT_PERF_MODEL.relative(f)
+    assert np.all(np.diff(rel) > 0)
+
+
+def test_sublinear_vs_frequency():
+    """perf(f)/f falls with f (quadratic term negative)."""
+    m = DEFAULT_PERF_MODEL
+    assert m.relative(3.5) / 3.5 < m.relative(1.6) / 1.6
+
+
+def test_capacity_scales_with_peak():
+    m = DEFAULT_PERF_MODEL
+    assert m.capacity_ips(3.5, 6e9) == pytest.approx(6e9)
+    assert m.capacity_ips(1.6, 6e9) == pytest.approx(6e9 * m.relative(1.6))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        QuadraticPerfModel(a=0.5, b=0.1)  # convex -> not saturating
+    with pytest.raises(ConfigurationError):
+        QuadraticPerfModel(a=0.1, b=-0.05, f_ref_ghz=3.5)  # decreasing
+    with pytest.raises(ConfigurationError):
+        QuadraticPerfModel(f_ref_ghz=-1.0)

@@ -1,0 +1,20 @@
+"""Full Table I regeneration (slow; the tight-tolerance gate).
+
+The benchmark harness prints these rows; this test pins the calibration
+so an accidental model change that drifts the base scenario fails CI.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_base_scenario
+from repro.perf.splash2 import TABLE1_CASES, table1_row
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload,threads", TABLE1_CASES)
+def test_base_scenario_row(system16, workload, threads):
+    base = run_base_scenario(system16, workload, threads)
+    row = table1_row(workload, threads)
+    assert base.time_ms == pytest.approx(row.time_ms, rel=0.01)
+    assert base.processor_power_w == pytest.approx(row.power_w, abs=1.0)
+    assert base.t_threshold_c == pytest.approx(row.peak_temp_c, abs=1.0)

@@ -1,0 +1,76 @@
+"""Package stack parameters and derived conductances."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.thermal.package import PackageStack
+
+
+def test_defaults_valid():
+    pkg = PackageStack()
+    assert pkg.ambient_k == pytest.approx(313.15)
+
+
+def test_nonpositive_parameter_rejected():
+    with pytest.raises(ConfigurationError):
+        PackageStack(tim_thickness_m=0.0)
+    with pytest.raises(ConfigurationError):
+        PackageStack(k_sink=-1.0)
+
+
+def test_tim_conductance_scales_with_area():
+    pkg = PackageStack()
+    assert pkg.tim_vertical_conductance(2.0) == pytest.approx(
+        2 * pkg.tim_vertical_conductance(1.0)
+    )
+
+
+def test_thinner_tim_conducts_better():
+    thick = PackageStack(tim_thickness_m=100e-6)
+    thin = PackageStack(tim_thickness_m=50e-6)
+    assert thin.tim_vertical_conductance(1.0) > thick.tim_vertical_conductance(
+        1.0
+    )
+
+
+def test_lateral_conductance_geometry():
+    pkg = PackageStack()
+    g1 = pkg.die_lateral_conductance(1.0, 1.0)
+    g2 = pkg.die_lateral_conductance(2.0, 1.0)  # wider contact
+    g3 = pkg.die_lateral_conductance(1.0, 2.0)  # farther centroids
+    assert g2 == pytest.approx(2 * g1)
+    assert g3 == pytest.approx(0.5 * g1)
+
+
+def test_spreader_sink_conductance_reciprocal():
+    pkg = PackageStack(r_spreader_sink_per_tile=2.0)
+    assert pkg.spreader_sink_conductance() == pytest.approx(0.5)
+
+
+def test_heat_capacities_positive_and_scaled():
+    pkg = PackageStack()
+    assert pkg.component_heat_capacity(0.5) > 0
+    assert pkg.component_heat_capacity(1.0) == pytest.approx(
+        2 * pkg.component_heat_capacity(0.5)
+    )
+    # Splitting the spreader over more tiles shrinks each node's C.
+    assert pkg.spreader_tile_heat_capacity(16) == pytest.approx(
+        pkg.spreader_tile_heat_capacity(4) / 4
+    )
+
+
+def test_sink_heat_capacity_matches_paper_scale():
+    """Sec. III-D: heat sink capacity 'hundreds of Joule per Kelvin'."""
+    pkg = PackageStack()
+    assert 100.0 <= pkg.sink_heat_capacity_j_per_k <= 1000.0
+
+
+def test_sink_time_constant_in_paper_range(system16):
+    """Sec. IV-C: heat-sink thermal constant 15-30 s."""
+    import numpy as np
+
+    nd = system16.nodes
+    pkg = system16.package
+    g_conv = system16.fan.convection_conductance_w_per_k(1)
+    tau = pkg.sink_heat_capacity_j_per_k / g_conv
+    assert 10.0 < tau < 60.0

@@ -1,0 +1,51 @@
+"""Thermal node bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.package import PackageStack
+from repro.thermal.rc_network import ThermalNodes
+
+
+@pytest.fixture()
+def nodes(chip2):
+    return ThermalNodes(chip2, PackageStack())
+
+
+def test_node_layout(nodes, chip2):
+    n_comp = chip2.n_components
+    assert nodes.n_nodes == n_comp + 2 * chip2.n_tiles
+    assert nodes.component_slice == slice(0, n_comp)
+    assert nodes.spreader_slice == slice(n_comp, n_comp + chip2.n_tiles)
+    assert nodes.sink_slice == slice(
+        n_comp + chip2.n_tiles, n_comp + 2 * chip2.n_tiles
+    )
+
+
+def test_index_helpers(nodes, chip2):
+    assert nodes.spreader_index(0) == chip2.n_components
+    assert nodes.sink_index(1) == chip2.n_components + chip2.n_tiles + 1
+
+
+def test_capacities_positive_and_scaled(nodes):
+    assert np.all(nodes.capacities > 0)
+    # Die nodes are much lighter than spreader nodes, which are lighter
+    # than sink nodes (the time-scale separation of Sec. III-D).
+    comp_max = nodes.capacities[nodes.component_slice].max()
+    sp_min = nodes.capacities[nodes.spreader_slice].min()
+    sink_min = nodes.capacities[nodes.sink_slice].min()
+    assert comp_max < sp_min < sink_min
+
+
+def test_sink_capacity_split(nodes, chip2):
+    pkg = nodes.package
+    total = nodes.capacities[nodes.sink_slice].sum()
+    assert total == pytest.approx(pkg.sink_heat_capacity_j_per_k)
+
+
+def test_expand_component_values(nodes, chip2):
+    v = np.arange(chip2.n_components, dtype=float)
+    full = nodes.expand_component_values(v)
+    assert full.shape == (nodes.n_nodes,)
+    np.testing.assert_array_equal(full[nodes.component_slice], v)
+    assert np.all(full[chip2.n_components:] == 0.0)

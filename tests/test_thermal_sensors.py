@@ -1,0 +1,59 @@
+"""Temperature sensor bank: quantization, clipping, noise."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.thermal.sensors import TemperatureSensorBank
+
+
+def test_default_8bit_step():
+    bank = TemperatureSensorBank()
+    assert bank.step_c == pytest.approx(127.5 / 255)  # = 0.5 degC
+
+
+def test_quantization_grid():
+    bank = TemperatureSensorBank()
+    t = np.array([70.12, 70.26, 89.99])
+    read = bank.read_c(t)
+    np.testing.assert_allclose(read % bank.step_c, 0.0, atol=1e-9)
+    np.testing.assert_allclose(read, t, atol=bank.step_c / 2 + 1e-9)
+
+
+def test_noise_free_is_deterministic():
+    bank = TemperatureSensorBank()
+    t = np.linspace(40, 100, 7)
+    np.testing.assert_array_equal(bank.read_c(t), bank.read_c(t))
+
+
+def test_clipping_to_range():
+    bank = TemperatureSensorBank(range_c=(0.0, 100.0), bits=8)
+    read = bank.read_c(np.array([-20.0, 150.0]))
+    assert read[0] == pytest.approx(0.0)
+    assert read[1] == pytest.approx(100.0)
+
+
+def test_noise_is_reproducible_per_seed():
+    a = TemperatureSensorBank(noise_sigma_c=0.5, seed=42)
+    b = TemperatureSensorBank(noise_sigma_c=0.5, seed=42)
+    t = np.full(100, 70.0)
+    np.testing.assert_array_equal(a.read_c(t), b.read_c(t))
+
+
+def test_noise_magnitude_plausible():
+    bank = TemperatureSensorBank(noise_sigma_c=0.5, seed=1, bits=12)
+    t = np.full(10000, 70.0)
+    read = bank.read_c(t)
+    assert abs(read.mean() - 70.0) < 0.05
+    assert 0.4 < read.std() < 0.6
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        TemperatureSensorBank(range_c=(100.0, 0.0))
+    with pytest.raises(ConfigurationError):
+        TemperatureSensorBank(bits=0)
+    with pytest.raises(ConfigurationError):
+        TemperatureSensorBank(bits=17)
+    with pytest.raises(ConfigurationError):
+        TemperatureSensorBank(noise_sigma_c=-1.0)

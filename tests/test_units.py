@@ -1,0 +1,50 @@
+"""Unit helpers and constants."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_celsius_kelvin_roundtrip_scalar():
+    assert units.k_to_c(units.c_to_k(85.0)) == pytest.approx(85.0)
+
+
+def test_celsius_kelvin_roundtrip_array():
+    t = np.array([0.0, 40.0, 90.0])
+    np.testing.assert_allclose(units.k_to_c(units.c_to_k(t)), t)
+
+
+def test_zero_celsius_is_27315():
+    assert units.c_to_k(0.0) == pytest.approx(273.15)
+
+
+def test_area_conversion():
+    assert units.mm2_to_m2(1.0) == pytest.approx(1e-6)
+    assert units.mm2_to_m2(9.36) == pytest.approx(9.36e-6)
+
+
+def test_length_conversion():
+    assert units.mm_to_m(2.6) == pytest.approx(0.0026)
+
+
+def test_cfm_conversion():
+    # 1 CFM = 0.000471947 m^3/s
+    assert units.cfm_to_m3s(1.0) == pytest.approx(4.71947443e-4)
+
+
+def test_material_constants_positive():
+    for name in (
+        "K_SILICON",
+        "CV_SILICON",
+        "K_COPPER",
+        "CV_COPPER",
+        "K_TIM",
+        "CV_TIM",
+        "K_BI2TE3",
+    ):
+        assert getattr(units, name) > 0
+
+
+def test_silicon_conducts_better_than_tim():
+    assert units.K_SILICON > units.K_TIM > units.K_BI2TE3
