@@ -2,7 +2,9 @@
 
 The evaluation environment is offline and lacks the ``wheel`` package,
 so ``pip install -e .`` must take the legacy ``setup.py develop`` path;
-all metadata lives in ``pyproject.toml``.
+all metadata lives in ``pyproject.toml``. The version is single-sourced
+from ``repro.__version__`` via ``[tool.setuptools.dynamic]`` — never
+hard-code a version here or in ``pyproject.toml``.
 """
 
 from setuptools import setup

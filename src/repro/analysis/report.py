@@ -57,3 +57,64 @@ def render_normalized(
         for name, values in series.items()
     ]
     return render_table(["policy", *metrics], rows, title=label)
+
+
+def render_profile(profile: dict, title: str = "telemetry profile") -> str:
+    """Render one telemetry session's aggregates as summary tables.
+
+    ``profile`` is the grouped form produced by
+    :func:`repro.obs.exporters.read_jsonl` or
+    :meth:`repro.obs.Telemetry.snapshot`: ``spans`` (name -> stats),
+    ``counters``, ``gauges``, and ``histograms``. Sections with no data
+    are omitted; the result is the ``repro profile`` output.
+    """
+    blocks: list[str] = []
+    spans = profile.get("spans") or {}
+    if spans:
+        rows = [
+            [
+                name,
+                st["count"],
+                st["total_s"] * 1e3,
+                st["mean_s"] * 1e3,
+                st.get("self_s", 0.0) * 1e3,
+                st["max_s"] * 1e3,
+            ]
+            for name, st in sorted(spans.items())
+        ]
+        blocks.append(
+            render_table(
+                ["span", "count", "total_ms", "mean_ms", "self_ms", "max_ms"],
+                rows,
+                title=f"{title} — spans",
+            )
+        )
+    counters = profile.get("counters") or {}
+    gauges = profile.get("gauges") or {}
+    scalars = [["counter", name, value] for name, value in sorted(counters.items())]
+    scalars += [["gauge", name, value] for name, value in sorted(gauges.items())]
+    if scalars:
+        blocks.append(
+            render_table(
+                ["kind", "metric", "value"],
+                scalars,
+                title=f"{title} — counters/gauges",
+            )
+        )
+    histograms = profile.get("histograms") or {}
+    if histograms:
+        rows = [
+            [name, h["count"], h["mean"], h["min"], h["max"],
+             h["counts"][-1]]
+            for name, h in sorted(histograms.items())
+        ]
+        blocks.append(
+            render_table(
+                ["histogram", "count", "mean", "min", "max", "overflow"],
+                rows,
+                title=f"{title} — histograms",
+            )
+        )
+    if not blocks:
+        return f"{title}: (no telemetry recorded)"
+    return "\n\n".join(blocks)

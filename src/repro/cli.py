@@ -9,6 +9,14 @@ Usage (installed as the ``tecfan`` entry point)::
     tecfan fig7 [--minutes 10]       # server comparison vs OFTEC/Oracle
     tecfan hwcost                    # Sec. III-E hardware cost summary
     tecfan quick                     # one fast end-to-end TECfan demo
+    tecfan profile                   # instrumented run + profile tables
+    tecfan profile --load out.jsonl  # re-render a saved telemetry stream
+
+Every subcommand accepts ``--telemetry PATH``: the command then runs
+under an installed :class:`repro.obs.Telemetry` session and, on exit,
+writes the JSONL stream (run manifest first, then span/metric
+aggregates and per-interval events) to ``PATH``. See
+``docs/OBSERVABILITY.md`` for the stream format and naming conventions.
 """
 
 from __future__ import annotations
@@ -91,21 +99,98 @@ def _cmd_quick(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs import get_telemetry, profile_summary, read_jsonl
+
+    if args.load is not None:
+        from repro.exceptions import ObservabilityError
+
+        try:
+            print(profile_summary(read_jsonl(args.load)))
+        except (OSError, ObservabilityError) as exc:
+            print(f"tecfan profile: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    from repro.core.engine import EngineConfig, SimulationEngine
+    from repro.core.export import metrics_to_dict
+    from repro.core.problem import EnergyProblem
+    from repro.core.system import build_system
+    from repro.core.tecfan import TECfanController
+    from repro.perf import splash2_workload
+    from repro.perf.workload import WorkloadRun
+
+    if args.max_time_s <= 0:
+        print("tecfan profile: --max-time-s must be > 0", file=sys.stderr)
+        return 2
+
+    tel = get_telemetry()  # installed by main() for this subcommand
+    system = build_system()
+    workload = splash2_workload(args.workload, args.threads, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=args.threshold),
+        EngineConfig(max_time_s=args.max_time_s),
+    )
+    run = WorkloadRun(workload, system.chip, ref_freq_ghz=2.0)
+    result = engine.run(run, TECfanController())
+    tel.annotate("metrics", metrics_to_dict(result.metrics))
+    m = result.metrics
+    print(
+        f"{m.policy} on {m.workload}/{args.threads}t: "
+        f"{m.execution_time_s * 1e3:.1f} ms simulated, "
+        f"{len(result.trace)} intervals, peak {m.peak_temp_c:.2f} degC"
+    )
+    print()
+    print(profile_summary(tel))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``tecfan`` console script."""
     parser = argparse.ArgumentParser(
         prog="tecfan",
         description="Regenerate the TECfan paper's tables and figures.",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="record a telemetry session and write its JSONL stream here",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1", help="Table I base scenario")
-    sub.add_parser("fig4", help="Figure 4: TEC+fan integration")
-    sub.add_parser("fig5", help="Figure 5: cooling performance")
-    sub.add_parser("fig6", help="Figure 6: energy efficiency")
-    p7 = sub.add_parser("fig7", help="Figure 7: server comparison")
+    sub.add_parser("table1", parents=[common], help="Table I base scenario")
+    sub.add_parser("fig4", parents=[common], help="Figure 4: TEC+fan integration")
+    sub.add_parser("fig5", parents=[common], help="Figure 5: cooling performance")
+    sub.add_parser("fig6", parents=[common], help="Figure 6: energy efficiency")
+    p7 = sub.add_parser("fig7", parents=[common], help="Figure 7: server comparison")
     p7.add_argument("--minutes", type=int, default=10)
-    sub.add_parser("hwcost", help="Sec. III-E hardware cost")
-    sub.add_parser("quick", help="fast end-to-end demo")
+    sub.add_parser("hwcost", parents=[common], help="Sec. III-E hardware cost")
+    sub.add_parser("quick", parents=[common], help="fast end-to-end demo")
+    prof = sub.add_parser(
+        "profile",
+        parents=[common],
+        help="run one instrumented TECfan simulation and print its profile",
+    )
+    prof.add_argument("--workload", default="lu", help="SPLASH-2 benchmark name")
+    prof.add_argument("--threads", type=int, default=16)
+    prof.add_argument(
+        "--threshold", type=float, default=85.0, help="T_th [degC]"
+    )
+    prof.add_argument(
+        "--max-time-s",
+        type=float,
+        default=2.0,
+        help="simulated-time cap for the profiled run [s]",
+    )
+    prof.add_argument(
+        "--load",
+        metavar="PATH",
+        default=None,
+        help="render the profile of a saved JSONL stream instead of running",
+    )
 
     args = parser.parse_args(argv)
     dispatch = {
@@ -116,8 +201,29 @@ def main(argv: list[str] | None = None) -> int:
         "fig7": _cmd_fig7,
         "hwcost": _cmd_hwcost,
         "quick": _cmd_quick,
+        "profile": _cmd_profile,
     }
-    return dispatch[args.command](args)
+    handler = dispatch[args.command]
+
+    telemetry_path = getattr(args, "telemetry", None)
+    needs_session = telemetry_path is not None or (
+        args.command == "profile" and args.load is None
+    )
+    if not needs_session:
+        return handler(args)
+
+    from repro.core.export import telemetry_to_jsonl
+    from repro.obs import telemetry_session
+
+    with telemetry_session() as tel:
+        tel.annotate(
+            "command", list(argv) if argv is not None else sys.argv[1:]
+        )
+        rc = handler(args)
+    if telemetry_path is not None:
+        telemetry_to_jsonl(tel, telemetry_path)
+        print(f"telemetry: wrote {telemetry_path}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

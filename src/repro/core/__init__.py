@@ -31,8 +31,11 @@ from repro.core.engine import (
 )
 from repro.core.estimator import Estimate, NextIntervalEstimator
 from repro.core.export import (
+    manifest_to_json,
     metrics_to_dict,
     metrics_to_json,
+    run_manifest,
+    telemetry_to_jsonl,
     trace_to_csv,
     trace_to_rows,
 )
@@ -58,8 +61,11 @@ __all__ = [
     "run_fan_sweep",
     "Estimate",
     "NextIntervalEstimator",
+    "manifest_to_json",
     "metrics_to_dict",
     "metrics_to_json",
+    "run_manifest",
+    "telemetry_to_jsonl",
     "trace_to_csv",
     "trace_to_rows",
     "HardwareCostModel",

@@ -33,7 +33,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import units
 from repro.core.controller import Controller
 from repro.core.estimator import NextIntervalEstimator
 from repro.core.local_estimator import LocalBandedEstimator
@@ -43,6 +42,7 @@ from repro.core.state import ActuatorState
 from repro.core.system import CMPSystem
 from repro.core.trace import TraceRecorder
 from repro.exceptions import ConfigurationError
+from repro.obs import telemetry as obs
 from repro.perf.ips import IPSTracker
 from repro.perf.workload import WorkloadRun
 from repro.thermal.sensors import TemperatureSensorBank
@@ -131,41 +131,60 @@ class SimulationEngine:
         # initial guess until consecutive peaks agree; warm-starting at
         # the initial configuration's steady state plus a short silent
         # priming pass is the converged equivalent.
+        # Run context for the telemetry manifest (no-op when disabled;
+        # last run before export wins).
+        obs.annotate("engine_config", cfg)
+        obs.annotate("workload", run.workload.name)
+        obs.annotate("policy", controller.name)
+        # Pre-register the contract counters (docs/OBSERVABILITY.md) so
+        # exports always carry them, even at zero.
+        for counter in (
+            "engine.intervals",
+            "temp.violations",
+            "tec.switch_events",
+            "fan.level_changes",
+            "controller.hot_iterations",
+            "controller.cool_iterations",
+        ):
+            obs.incr(counter, 0)
+
         t_nodes = self._initial_field(run, state, profile, cfg.warm_start)
         prev_tec = state.tec.copy()
         if cfg.priming_intervals > 0:
             # Same run type (WorkloadRun or ServerTraceRun), fresh state.
             primer = type(run)(run.workload, run.chip, run.ref_freq_ghz)
-            state, t_nodes, prev_tec, _, _, _, _ = self._simulate(
-                primer,
+            with obs.span("engine.prime"):
+                state, t_nodes, prev_tec, _, _, _, _ = self._simulate(
+                    primer,
+                    controller,
+                    state,
+                    t_nodes,
+                    prev_tec,
+                    estimator,
+                    trace=None,
+                    max_intervals=cfg.priming_intervals,
+                )
+
+        trace = TraceRecorder()
+        with obs.span("engine.run"):
+            (
+                state,
+                t_nodes,
+                prev_tec,
+                time_s,
+                total_instructions,
+                avg_p,
+                avg_tec,
+            ) = self._simulate(
+                run,
                 controller,
                 state,
                 t_nodes,
                 prev_tec,
                 estimator,
-                trace=None,
-                max_intervals=cfg.priming_intervals,
+                trace=trace,
+                max_intervals=None,
             )
-
-        trace = TraceRecorder()
-        (
-            state,
-            t_nodes,
-            prev_tec,
-            time_s,
-            total_instructions,
-            avg_p,
-            avg_tec,
-        ) = self._simulate(
-            run,
-            controller,
-            state,
-            t_nodes,
-            prev_tec,
-            estimator,
-            trace=trace,
-            max_intervals=None,
-        )
 
         metrics = summarize(
             trace,
@@ -215,93 +234,103 @@ class SimulationEngine:
             intervals += 1
             dt = cfg.dt_lower_s
 
-            # ---- plant: power for this interval -----------------------
-            freqs = dvfs.frequency_ghz(state.dvfs)
-            # Fractional final interval: don't bill a full control period
-            # for the last few instructions (delay would otherwise be
-            # quantized to dt).
-            t_done = run.time_to_completion_s(freqs)
-            if t_done < dt:
-                dt = max(t_done, 1e-6)
-            activity = run.activity_vector()
-            p_dyn = system.power.component_power.dynamic_power_w(
-                activity, state.dvfs, profile
-            )
-            tec_eff = self._effective_tec(state.tec, prev_tec, dt)
+            with obs.span("engine.step"):
+                # ---- plant: power for this interval -----------------------
+                freqs = dvfs.frequency_ghz(state.dvfs)
+                # Fractional final interval: don't bill a full control period
+                # for the last few instructions (delay would otherwise be
+                # quantized to dt).
+                t_done = run.time_to_completion_s(freqs)
+                if t_done < dt:
+                    dt = max(t_done, 1e-6)
+                activity = run.activity_vector()
+                p_dyn = system.power.component_power.dynamic_power_w(
+                    activity, state.dvfs, profile
+                )
+                tec_eff = self._effective_tec(state.tec, prev_tec, dt)
 
-            # ---- plant: thermal step ----------------------------------
-            comp = system.nodes.component_slice
-            t_steady, _ = system.plant_thermal.solve(
-                p_dyn, state.fan_level, tec_eff, t_guess_k=t_nodes[comp]
-            )
-            t_nodes = system.transient.step(
-                t_nodes, t_steady, dt, state.fan_level, tec_eff
-            )
-            t_comp_c = system.component_temps_c(t_nodes)
-            p_leak = system.power.plant_leakage.per_component_w(
-                t_nodes[comp]
-            )
+                # ---- plant: thermal step ----------------------------------
+                comp = system.nodes.component_slice
+                t_steady, _ = system.plant_thermal.solve(
+                    p_dyn, state.fan_level, tec_eff, t_guess_k=t_nodes[comp]
+                )
+                t_nodes = system.transient.step(
+                    t_nodes, t_steady, dt, state.fan_level, tec_eff
+                )
+                t_comp_c = system.component_temps_c(t_nodes)
+                p_leak = system.power.plant_leakage.per_component_w(
+                    t_nodes[comp]
+                )
 
-            # ---- plant: performance and energy accounting -------------
-            inst = run.advance(dt, freqs)
-            ips_cores = inst / dt
-            total_instructions += float(inst.sum())
-            p_cores = float(p_dyn.sum() + p_leak.sum())
-            p_tec = system.tec_power_w(tec_eff, t_nodes)
-            p_fan = system.fan.power_w(state.fan_level)
-            p_chip = p_cores + p_tec + p_fan
-            if trace is not None:
-                trace.append(
-                    time_s=time_s,
+                # ---- plant: performance and energy accounting -------------
+                inst = run.advance(dt, freqs)
+                ips_cores = inst / dt
+                total_instructions += float(inst.sum())
+                p_cores = float(p_dyn.sum() + p_leak.sum())
+                p_tec = system.tec_power_w(tec_eff, t_nodes)
+                p_fan = system.fan.power_w(state.fan_level)
+                p_chip = p_cores + p_tec + p_fan
+                if trace is not None:
+                    trace.append(
+                        time_s=time_s,
+                        dt_s=dt,
+                        peak_temp_c=float(t_comp_c.max()),
+                        p_chip_w=p_chip,
+                        p_cores_w=p_cores,
+                        p_tec_w=p_tec,
+                        p_fan_w=p_fan,
+                        ips_chip=float(ips_cores.sum()),
+                        tec_on=state.tec_on_count,
+                        fan_level=state.fan_level,
+                        mean_dvfs_level=float(np.mean(state.dvfs)),
+                    )
+
+                # ---- controller: lower level ------------------------------
+                readings = (
+                    cfg.sensors.read_c(t_comp_c)
+                    if cfg.sensors is not None
+                    else t_comp_c
+                )
+                estimator.begin_interval(
+                    sensor_temps_c=readings,
+                    p_dyn_measured_w=p_dyn,
+                    ips_measured=ips_cores,
+                    state=state,
                     dt_s=dt,
-                    peak_temp_c=float(t_comp_c.max()),
-                    p_chip_w=p_chip,
-                    p_cores_w=p_cores,
-                    p_tec_w=p_tec,
-                    p_fan_w=p_fan,
-                    ips_chip=float(ips_cores.sum()),
-                    tec_on=state.tec_on_count,
-                    fan_level=state.fan_level,
-                    mean_dvfs_level=float(np.mean(state.dvfs)),
                 )
+                prev_tec = state.tec.copy()
+                with obs.span("controller.decide"):
+                    new_state = controller.decide(
+                        state, readings, estimator, self.problem
+                    )
+                new_state = new_state.with_fan(state.fan_level)
 
-            # ---- controller: lower level ------------------------------
-            readings = (
-                cfg.sensors.read_c(t_comp_c)
-                if cfg.sensors is not None
-                else t_comp_c
-            )
-            estimator.begin_interval(
-                sensor_temps_c=readings,
-                p_dyn_measured_w=p_dyn,
-                ips_measured=ips_cores,
-                state=state,
-                dt_s=dt,
-            )
-            prev_tec = state.tec.copy()
-            new_state = controller.decide(
-                state, readings, estimator, self.problem
-            )
-            new_state = new_state.with_fan(state.fan_level)
+                # ---- controller: higher level (fan) -----------------------
+                fan_accum_p += p_dyn + p_leak
+                fan_accum_tec += tec_eff
+                run_avg_p += (p_dyn + p_leak) * dt
+                run_avg_tec += tec_eff * dt
+                fan_accum_n += 1
+                time_s += dt
+                if cfg.dynamic_fan and fan_accum_n * dt >= cfg.fan_period_s:
+                    avg_p = fan_accum_p / fan_accum_n
+                    avg_tec = fan_accum_tec / fan_accum_n
+                    with obs.span("controller.decide_fan"):
+                        level = controller.decide_fan(
+                            new_state, avg_p, avg_tec, estimator, self.problem
+                        )
+                    new_state = new_state.with_fan(level)
+                    fan_accum_p[:] = 0.0
+                    fan_accum_tec[:] = 0.0
+                    fan_accum_n = 0
 
-            # ---- controller: higher level (fan) -----------------------
-            fan_accum_p += p_dyn + p_leak
-            fan_accum_tec += tec_eff
-            run_avg_p += (p_dyn + p_leak) * dt
-            run_avg_tec += tec_eff * dt
-            fan_accum_n += 1
-            time_s += dt
-            if cfg.dynamic_fan and fan_accum_n * dt >= cfg.fan_period_s:
-                avg_p = fan_accum_p / fan_accum_n
-                avg_tec = fan_accum_tec / fan_accum_n
-                level = controller.decide_fan(
-                    new_state, avg_p, avg_tec, estimator, self.problem
-                )
-                new_state = new_state.with_fan(level)
-                fan_accum_p[:] = 0.0
-                fan_accum_tec[:] = 0.0
-                fan_accum_n = 0
-            state = new_state
+                # ---- telemetry (observation only; gated so disabled runs
+                # pay one is-None check per interval) ----------------------
+                if trace is not None and obs.get_telemetry() is not None:
+                    self._record_interval(
+                        state, new_state, t_comp_c, p_chip, time_s - dt, dt
+                    )
+                state = new_state
 
         if time_s > 0:
             run_avg_p /= time_s
@@ -314,6 +343,48 @@ class SimulationEngine:
             total_instructions,
             run_avg_p,
             run_avg_tec,
+        )
+
+    # ------------------------------------------------------------------
+    def _record_interval(
+        self,
+        state: ActuatorState,
+        new_state: ActuatorState,
+        t_comp_c: np.ndarray,
+        p_chip_w: float,
+        time_s: float,
+        dt_s: float,
+    ) -> None:
+        """Emit one recorded interval's counters and JSONL event.
+
+        Only called with an active telemetry session; the counter names
+        are the contract documented in ``docs/OBSERVABILITY.md``.
+        """
+        peak_c = float(t_comp_c.max())
+        obs.incr("engine.intervals")
+        if self.problem.violated(peak_c):
+            obs.incr("temp.violations")
+        switched = int(
+            np.count_nonzero(new_state.tec_on_mask() != state.tec_on_mask())
+        )
+        if switched:
+            obs.incr("tec.switch_events", switched)
+        if new_state.fan_level != state.fan_level:
+            obs.incr("fan.level_changes")
+        obs.observe(
+            "engine.peak_temp_c",
+            peak_c,
+            edges=(40.0, 50.0, 60.0, 70.0, 75.0, 80.0, 85.0, 90.0, 100.0, 120.0),
+        )
+        obs.event(
+            "interval",
+            time_s=time_s,
+            dt_s=dt_s,
+            peak_temp_c=peak_c,
+            p_chip_w=float(p_chip_w),
+            tec_on=int(new_state.tec_on_count),
+            fan_level=int(new_state.fan_level),
+            mean_dvfs_level=float(np.mean(new_state.dvfs)),
         )
 
     # ------------------------------------------------------------------

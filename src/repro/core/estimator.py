@@ -33,6 +33,7 @@ from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
 from repro.core.system import CMPSystem
 from repro.exceptions import ControlError
+from repro.obs import telemetry as obs
 from repro.power.component_power import core_dvfs_domain_mask
 from repro.power.dynamic import DynamicPowerTracker
 
@@ -148,8 +149,10 @@ class NextIntervalEstimator:
         key = state.key()
         hit = self._cache.get(key)
         if hit is not None:
+            obs.incr("estimator.cache_hits")
             return hit
         self.n_evaluations += 1
+        obs.incr("estimator.evaluations")
         system = self.system
         nodes = system.nodes
 

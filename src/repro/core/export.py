@@ -1,8 +1,11 @@
-"""Trace export: CSV / dict serialization of simulation results.
+"""Trace export: CSV / dict / telemetry serialization of results.
 
 Downstream users plot and post-process runs outside this library;
 these helpers dump a :class:`~repro.core.trace.TraceRecorder` (and the
-run summary) in portable formats with no extra dependencies.
+run summary) in portable formats with no extra dependencies. The
+telemetry side (:func:`telemetry_to_jsonl`, :func:`manifest_to_json`)
+is the one-stop entry point for exporting a :class:`repro.obs.Telemetry`
+session together with a run's metrics.
 """
 
 from __future__ import annotations
@@ -14,6 +17,9 @@ from pathlib import Path
 
 from repro.core.metrics import RunMetrics
 from repro.core.trace import TraceRecorder
+from repro.obs.exporters import write_jsonl
+from repro.obs.manifest import build_manifest
+from repro.obs.telemetry import Telemetry
 
 #: Column order of the CSV export.
 TRACE_COLUMNS: tuple[str, ...] = (
@@ -83,3 +89,46 @@ def metrics_to_json(
     if path is not None:
         Path(path).write_text(text)
     return text
+
+
+def run_manifest(
+    tel: Telemetry, metrics: RunMetrics | None = None
+) -> dict:
+    """Run manifest for one telemetry session, with metrics attached.
+
+    Annotates the session with the run summary (so the manifest's
+    ``context.metrics`` mirrors :func:`metrics_to_dict`) and builds the
+    full manifest: version, git SHA, engine config, span timings, and
+    the metric snapshot.
+    """
+    if metrics is not None:
+        tel.annotate("metrics", metrics_to_dict(metrics))
+    return build_manifest(tel)
+
+
+def manifest_to_json(
+    tel: Telemetry,
+    path: str | Path | None = None,
+    metrics: RunMetrics | None = None,
+) -> str:
+    """Serialize a session's run manifest to JSON; optionally write it."""
+    text = json.dumps(
+        run_manifest(tel, metrics=metrics), indent=2, sort_keys=True
+    )
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def telemetry_to_jsonl(
+    tel: Telemetry,
+    path: str | Path | None = None,
+    metrics: RunMetrics | None = None,
+) -> str:
+    """Serialize a session to a JSONL stream (manifest first).
+
+    The stream carries the manifest, every span/counter/gauge/histogram
+    aggregate, and the per-interval event records — the format
+    ``repro profile --load`` and :func:`repro.obs.read_jsonl` consume.
+    """
+    return write_jsonl(tel, path=path, manifest=run_manifest(tel, metrics=metrics))

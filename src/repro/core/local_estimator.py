@@ -38,6 +38,7 @@ from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
 from repro.core.system import CMPSystem
 from repro.exceptions import ControlError
+from repro.obs import telemetry as obs
 from repro.power.component_power import core_dvfs_domain_mask
 from repro.power.dynamic import DynamicPowerTracker
 
@@ -200,6 +201,7 @@ class LocalBandedEstimator:
     ) -> np.ndarray:
         """Banded next-interval prediction of one core's components [K]."""
         self.n_core_solves += 1
+        obs.incr("estimator.core_solves")
         system = self.system
         blk: _CoreBlock = self._blocks[core]
         idx = blk.comp_idx
@@ -267,8 +269,10 @@ class LocalBandedEstimator:
         key = state.key()
         hit = self._cache.get(key)
         if hit is not None:
+            obs.incr("estimator.cache_hits")
             return hit
         self.n_evaluations += 1
+        obs.incr("estimator.evaluations")
         system = self.system
         nodes = system.nodes
 

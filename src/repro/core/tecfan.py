@@ -46,6 +46,7 @@ from repro.core.controller import Controller
 from repro.core.estimator import Estimate, NextIntervalEstimator
 from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
+from repro.obs import telemetry as obs
 
 
 @dataclass
@@ -142,6 +143,7 @@ class TECfanController(Controller):
         work = state
         for _ in range(self.max_iterations):
             self.n_hot_iterations += 1
+            obs.incr("controller.hot_iterations")
             est = estimator.evaluate(work)
             if self._ok(est, problem):
                 return work
@@ -208,6 +210,7 @@ class TECfanController(Controller):
         raises_accepted = 0
         for _ in range(self.max_iterations):
             self.n_cool_iterations += 1
+            obs.incr("controller.cool_iterations")
 
             # Phase A: DVFS raises that buy performance.
             nxt = self._best_raise(

@@ -22,6 +22,7 @@ class TraceRecorder:
 
     def append(
         self,
+        *,
         time_s: float,
         dt_s: float,
         peak_temp_c: float,
@@ -34,7 +35,11 @@ class TraceRecorder:
         fan_level: int,
         mean_dvfs_level: float,
     ) -> None:
-        """Record one control interval."""
+        """Record one control interval.
+
+        Keyword-only on purpose: eleven positional floats in a row made
+        silent argument-order bugs at engine call sites far too easy.
+        """
         self._rows.append(
             (
                 time_s,

@@ -40,3 +40,8 @@ class WorkloadError(ReproError):
 
 class ControlError(ReproError):
     """A controller was asked to operate on an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """The telemetry layer was misused (metric kind clash, bad buckets,
+    unreadable telemetry stream)."""

@@ -1,0 +1,142 @@
+"""Telemetry serialization: JSONL streams and profile summaries.
+
+One telemetry session exports as a JSON-Lines stream with typed records:
+
+* line 1 — ``{"type": "manifest", ...}`` (see :mod:`repro.obs.manifest`);
+* one ``{"type": "span", "name": ..., ...}`` record per span aggregate;
+* one ``{"type": "counter" | "gauge" | "histogram", ...}`` per metric;
+* one ``{"type": "event", ...}`` per retained structured event (the
+  engine emits one per recorded control interval).
+
+:func:`read_jsonl` groups a stream back into a dict equivalent to the
+live session's snapshot, so ``repro profile --load`` renders the same
+summary table from a file that a live run prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ObservabilityError
+from repro.obs.manifest import build_manifest
+from repro.obs.telemetry import Telemetry
+
+
+def telemetry_records(tel: Telemetry, manifest: dict | None = None) -> list[dict]:
+    """The typed record sequence of one session (manifest first)."""
+    if manifest is None:
+        manifest = build_manifest(tel)
+    records: list[dict] = [{"type": "manifest", **manifest}]
+    snap = tel.snapshot()
+    for name, stats in snap["spans"].items():
+        records.append({"type": "span", "name": name, **stats})
+    for edge in snap["span_edges"]:
+        records.append({"type": "span_edge", **edge})
+    for name, value in snap["counters"].items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in snap["gauges"].items():
+        records.append({"type": "gauge", "name": name, "value": value})
+    for name, hist in snap["histograms"].items():
+        records.append({"type": "histogram", "name": name, **hist})
+    for ev in tel.events:
+        records.append({"type": "event", **ev})
+    return records
+
+
+def write_jsonl(
+    tel: Telemetry,
+    path: str | Path | None = None,
+    manifest: dict | None = None,
+) -> str:
+    """Serialize a session to JSONL; optionally write it to ``path``.
+
+    Returns the JSONL text either way (mirrors
+    :func:`repro.core.export.trace_to_csv`).
+    """
+    lines = [
+        json.dumps(rec, sort_keys=True)
+        for rec in telemetry_records(tel, manifest=manifest)
+    ]
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def read_jsonl(source: str | Path) -> dict:
+    """Parse a telemetry stream back into grouped aggregates.
+
+    ``source`` is a path or raw JSONL text. Returns::
+
+        {"manifest": dict | None,
+         "spans": {name: stats}, "span_edges": [...],
+         "counters": {name: value}, "gauges": {name: value},
+         "histograms": {name: hist}, "events": [...]}
+    """
+    if isinstance(source, Path) or "\n" not in str(source):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    out: dict = {
+        "manifest": None,
+        "spans": {},
+        "span_edges": [],
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "events": [],
+    }
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"telemetry stream line {lineno} is not valid JSON"
+            ) from exc
+        kind = rec.pop("type", None)
+        if kind == "manifest":
+            out["manifest"] = rec
+        elif kind == "span":
+            out["spans"][rec.pop("name")] = rec
+        elif kind == "span_edge":
+            out["span_edges"].append(rec)
+        elif kind == "counter":
+            out["counters"][rec["name"]] = rec["value"]
+        elif kind == "gauge":
+            out["gauges"][rec["name"]] = rec["value"]
+        elif kind == "histogram":
+            out["histograms"][rec.pop("name")] = rec
+        elif kind == "event":
+            out["events"].append(rec)
+        else:
+            raise ObservabilityError(
+                f"telemetry stream line {lineno} has unknown type {kind!r}"
+            )
+    return out
+
+
+def profile_summary(source: Telemetry | dict) -> str:
+    """Human-readable profile of a session or a parsed JSONL stream.
+
+    Renders the span table (count, total/mean/self wall time), the
+    counters, and histogram summaries — the ``repro profile`` output.
+    """
+    # Local import: analysis sits above obs in the layering (it pulls in
+    # the whole core package), so only the formatting entry point may
+    # reach up into it.
+    from repro.analysis.report import render_profile
+
+    if isinstance(source, Telemetry):
+        snap = source.snapshot()
+        grouped = {
+            "spans": snap["spans"],
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+        }
+    else:
+        grouped = source
+    return render_profile(grouped)

@@ -1,0 +1,106 @@
+"""Run manifests: the reproducibility header of a telemetry export.
+
+A manifest answers "what produced this data": package version, git
+commit, Python/platform, when the session ran, the run context the
+engine and CLI annotated (engine config, workload, policy, metrics), and
+a full aggregate snapshot of the session's spans and metrics. It is the
+first record of every JSONL telemetry stream and can also be exported
+standalone as JSON (:func:`repro.core.export.manifest_to_json`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.telemetry import Telemetry
+
+#: Bumped whenever the manifest/JSONL record layout changes.
+MANIFEST_SCHEMA: int = 1
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """Current git commit hash, or ``None`` outside a work tree.
+
+    Defaults to the package's own checkout so installed copies and
+    subprocess-less platforms degrade to ``None`` instead of failing.
+    """
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def jsonable(value):
+    """Best-effort conversion of run objects to JSON-safe values.
+
+    Dataclasses become dicts, numpy scalars/arrays become Python
+    numbers/lists, containers recurse, and anything else that the JSON
+    encoder would reject is captured as ``repr(value)`` — a manifest
+    must never fail because a config embeds a rich object (e.g. a
+    sensor bank).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else repr(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return jsonable(float(value))
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+def build_manifest(tel: Telemetry, extra: dict | None = None) -> dict:
+    """Assemble the run manifest for one telemetry session.
+
+    Parameters
+    ----------
+    tel:
+        The session to snapshot (context + spans + metrics).
+    extra:
+        Additional top-level entries (e.g. the CLI command line).
+    """
+    from repro import __version__
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "repro_version": __version__,
+        "git_sha": git_sha(),
+        "created_unix": tel.created_unix,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "context": jsonable(tel.context),
+        "events_recorded": len(tel.events),
+        "events_dropped": tel.events_dropped,
+        "telemetry": tel.snapshot(),
+    }
+    if extra:
+        manifest.update(jsonable(extra))
+    return manifest

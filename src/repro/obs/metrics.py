@@ -1,0 +1,179 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric side of the telemetry layer: where spans
+answer "where did the wall time go", metrics answer "what did the
+control loop do" — how many hot iterations the heuristic ran, how often
+TEC devices switched, how many intervals violated the threshold, how the
+solver's latency distributes. All instruments are plain Python objects
+with no locking (the simulator is single-threaded); snapshots are
+JSON-safe dicts consumed by the exporters.
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted
+``subsystem.quantity`` names, with units suffixed when not obvious
+(``thermal.solver_ms``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.exceptions import ObservabilityError
+
+#: Default latency bucket upper edges [ms] for solver/step histograms:
+#: sub-100 us resolution at the bottom (one steady solve is tens of us)
+#: up to one second for pathological factorizations.
+DEFAULT_MS_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    1000.0,
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        if n < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {n})"
+            )
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram of a nonnegative quantity.
+
+    ``edges`` are ascending bucket *upper* edges; an observation lands in
+    the first bucket whose edge is >= the value, or in the implicit
+    overflow bucket beyond the last edge. Bucket counts therefore have
+    ``len(edges) + 1`` entries.
+    """
+
+    name: str
+    edges: tuple = DEFAULT_MS_BUCKETS
+    counts: list = None
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def __post_init__(self) -> None:
+        edges = tuple(float(e) for e in self.edges)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ObservabilityError(
+                f"histogram {self.name!r} needs strictly increasing edges"
+            )
+        self.edges = edges
+        if self.counts is None:
+            self.counts = [0] * (len(edges) + 1)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last bucket edge."""
+        return self.counts[-1]
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        self.counts[bisect_left(self.edges, v)] += 1
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Name-keyed collection of counters, gauges, and histograms.
+
+    Instruments are created on first use (``registry.counter("x").inc()``)
+    so call sites never need a separate registration step; a name is
+    bound to one instrument kind for the registry's lifetime.
+    """
+
+    _counters: dict = field(default_factory=dict)
+    _gauges: dict = field(default_factory=dict)
+    _histograms: dict = field(default_factory=dict)
+
+    def _check_kind(self, name: str, kind: dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not kind and name in other:
+                raise ObservabilityError(
+                    f"metric name {name!r} already bound to another kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_kind(name, self._counters)
+            c = self._counters[name] = Counter(name=name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_kind(name, self._gauges)
+            g = self._gauges[name] = Gauge(name=name)
+        return g
+
+    def histogram(self, name: str, edges: tuple = DEFAULT_MS_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_kind(name, self._histograms)
+            h = self._histograms[name] = Histogram(name=name, edges=edges)
+        elif tuple(float(e) for e in edges) != h.edges:
+            raise ObservabilityError(
+                f"histogram {name!r} re-registered with different edges"
+            )
+        return h
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of every instrument, grouped by kind."""
+        return {
+            "counters": {
+                n: c.value for n, c in sorted(self._counters.items())
+            },
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

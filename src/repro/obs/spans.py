@@ -1,0 +1,119 @@
+"""Hierarchical wall-time spans with lightweight aggregation.
+
+A *span* names one timed region of the control loop — ``engine.step``,
+``thermal.solve``, ``controller.decide`` — and spans nest: whatever is
+open when a new span starts becomes its parent. Rather than retaining
+every individual timing (the engine runs thousands of 2 ms intervals per
+second of simulated time), the tracker keeps one :class:`SpanStats`
+aggregate per span name: call count, total/min/max wall time, and *self*
+time (total minus time attributed to child spans). Parent->child call
+edges are counted separately so exporters can reconstruct the call tree.
+
+The tracker is deliberately observation-only: it never influences the
+simulation, and it is cheap enough to leave wired into the hot paths
+(one ``perf_counter`` pair and a dict update per span entry).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every completed occurrence of one span name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    #: Wall time not attributed to child spans.
+    self_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall time per call [s]."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, duration_s: float, child_s: float) -> None:
+        """Fold one completed occurrence into the aggregate."""
+        self.count += 1
+        self.total_s += duration_s
+        self.self_s += max(0.0, duration_s - child_s)
+        self.min_s = min(self.min_s, duration_s)
+        self.max_s = max(self.max_s, duration_s)
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the aggregate."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "self_s": self.self_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass
+class SpanTracker:
+    """Aggregating span recorder with an explicit open-span stack.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    clock: callable = time.perf_counter
+    stats: dict = field(default_factory=dict)
+    #: ``(parent_name, child_name) -> call count`` nesting edges; the
+    #: parent of a top-level span is recorded as ``None``.
+    edges: dict = field(default_factory=dict)
+    # Open spans: [name, start_time, accumulated_child_time].
+    _stack: list = field(default_factory=list, repr=False)
+
+    def start(self, name: str) -> None:
+        """Open a span; it becomes the parent of spans started inside."""
+        parent = self._stack[-1][0] if self._stack else None
+        edge = (parent, name)
+        self.edges[edge] = self.edges.get(edge, 0) + 1
+        self._stack.append([name, self.clock(), 0.0])
+
+    def stop(self) -> tuple[str, float]:
+        """Close the innermost span; returns ``(name, duration_s)``."""
+        name, t0, child_s = self._stack.pop()
+        duration = self.clock() - t0
+        stats = self.stats.get(name)
+        if stats is None:
+            stats = self.stats[name] = SpanStats(name=name)
+        stats.add(duration, child_s)
+        if self._stack:
+            self._stack[-1][2] += duration
+        return name, duration
+
+    @property
+    def depth(self) -> int:
+        """Number of currently-open spans."""
+        return len(self._stack)
+
+    def snapshot(self) -> dict:
+        """``{name: aggregate-dict}`` for every completed span."""
+        return {name: st.to_dict() for name, st in sorted(self.stats.items())}
+
+    def edge_snapshot(self) -> list[dict]:
+        """Nesting edges as JSON-safe records (parent may be ``None``)."""
+        return [
+            {"parent": parent, "child": child, "count": count}
+            for (parent, child), count in sorted(
+                self.edges.items(), key=lambda kv: (kv[0][0] or "", kv[0][1])
+            )
+        ]
+
+    def reset(self) -> None:
+        """Drop all aggregates and open spans."""
+        self.stats.clear()
+        self.edges.clear()
+        self._stack.clear()

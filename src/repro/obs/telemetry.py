@@ -1,0 +1,220 @@
+"""The telemetry facade and the process-global active instance.
+
+Hot paths never hold a :class:`Telemetry` reference; they call the
+module-level hooks (:func:`span`, :func:`incr`, :func:`observe`,
+:func:`event`, :func:`annotate`), which dispatch to the *active*
+telemetry — or do nothing when none is installed. The disabled path is a
+single global load plus an ``is None`` check, so leaving the hooks wired
+into the per-interval loops costs effectively nothing for ordinary runs
+and benchmarks.
+
+Typical use::
+
+    from repro.obs import Telemetry, telemetry_session
+
+    tel = Telemetry()
+    with telemetry_session(tel):
+        result = engine.run(run, controller)
+    print(tel.metrics.snapshot()["counters"])
+
+The active instance is process-global (not thread-local): the simulator
+is single-threaded, and a global keeps the disabled fast path to one
+dict-free check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanTracker
+
+#: Upper bound on retained structured events; beyond it events are
+#: counted as dropped rather than stored (a 10-minute server run at 2 ms
+#: intervals emits ~300k interval events — well under this).
+MAX_EVENTS: int = 1_000_000
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one span occurrence on exit."""
+
+    __slots__ = ("_tel", "_name", "_hist_ms")
+
+    def __init__(self, tel: "Telemetry", name: str, hist_ms: str | None):
+        self._tel = tel
+        self._name = name
+        self._hist_ms = hist_ms
+
+    def __enter__(self) -> "_Span":
+        self._tel.spans.start(self._name)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _, duration_s = self._tel.spans.stop()
+        if self._hist_ms is not None:
+            self._tel.metrics.histogram(
+                self._hist_ms, DEFAULT_MS_BUCKETS
+            ).observe(duration_s * 1e3)
+        return False
+
+
+@dataclass
+class Telemetry:
+    """One observation session: spans + metrics + events + context.
+
+    Parameters
+    ----------
+    record_events:
+        Whether :meth:`event` retains structured records (the JSONL
+        interval stream). Aggregates are always kept.
+    """
+
+    record_events: bool = True
+    spans: SpanTracker = field(default_factory=SpanTracker)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Structured event records (dicts), in emission order.
+    events: list = field(default_factory=list)
+    #: Free-form run context merged into the manifest (engine config,
+    #: workload/policy names, run metrics, ...).
+    context: dict = field(default_factory=dict)
+    events_dropped: int = 0
+    created_unix: float = field(default_factory=time.time)
+    _t0: float = field(default_factory=time.perf_counter, repr=False)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, hist_ms: str | None = None) -> _Span:
+        """Context manager timing one region; nests under open spans.
+
+        ``hist_ms`` additionally feeds each duration (in milliseconds)
+        into the named histogram.
+        """
+        return _Span(self, name, hist_ms)
+
+    def event(self, kind: str, **fields) -> None:
+        """Record one structured event (if event recording is on)."""
+        if not self.record_events:
+            return
+        if len(self.events) >= MAX_EVENTS:
+            self.events_dropped += 1
+            return
+        record = {"kind": kind, "t_rel_s": time.perf_counter() - self._t0}
+        record.update(fields)
+        self.events.append(record)
+
+    def annotate(self, key: str, value) -> None:
+        """Attach one context entry (reported in the run manifest)."""
+        self.context[key] = value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe aggregate view: spans, edges, and all metrics."""
+        out = {
+            "spans": self.spans.snapshot(),
+            "span_edges": self.spans.edge_snapshot(),
+        }
+        out.update(self.metrics.snapshot())
+        return out
+
+    def reset(self) -> None:
+        """Drop every recording (aggregates, events, context)."""
+        self.spans.reset()
+        self.metrics.reset()
+        self.events.clear()
+        self.context.clear()
+        self.events_dropped = 0
+
+
+# ----------------------------------------------------------------------
+# The active instance and the hot-path hooks.
+# ----------------------------------------------------------------------
+
+_ACTIVE: Telemetry | None = None
+
+
+def get_telemetry() -> Telemetry | None:
+    """The currently installed telemetry, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def set_telemetry(tel: Telemetry | None) -> Telemetry | None:
+    """Install ``tel`` as the active instance; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tel
+    return previous
+
+
+@contextmanager
+def telemetry_session(tel: Telemetry | None = None):
+    """Install a telemetry instance for the duration of a ``with`` block.
+
+    Yields the installed instance (a fresh one if none is given); the
+    previously active instance is restored on exit, so sessions nest.
+    """
+    if tel is None:
+        tel = Telemetry()
+    previous = set_telemetry(tel)
+    try:
+        yield tel
+    finally:
+        set_telemetry(previous)
+
+
+def span(name: str, hist_ms: str | None = None):
+    """Hot-path span hook: no-op context manager when telemetry is off."""
+    tel = _ACTIVE
+    if tel is None:
+        return _NULL_SPAN
+    return tel.span(name, hist_ms=hist_ms)
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Hot-path counter hook."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.metrics.counter(name).inc(n)
+
+
+def observe(name: str, value: float, edges: tuple = DEFAULT_MS_BUCKETS) -> None:
+    """Hot-path histogram hook."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.metrics.histogram(name, edges).observe(value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Hot-path gauge hook."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.metrics.gauge(name).set(value)
+
+
+def event(kind: str, **fields) -> None:
+    """Hot-path structured-event hook."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.event(kind, **fields)
+
+
+def annotate(key: str, value) -> None:
+    """Attach run context to the active telemetry, if any."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.annotate(key, value)

@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import ThermalModelError
+from repro.obs import telemetry as obs
 from repro.thermal.conductance import ConductanceModel
 
 
@@ -61,6 +62,7 @@ class SteadyStateSolver:
                 ) from exc
             self._lu_cache[key] = lu
             self.n_factorizations += 1
+            obs.incr("thermal.factorizations")
             if len(self._lu_cache) > self.cache_size:
                 self._lu_cache.popitem(last=False)
         else:
@@ -85,10 +87,11 @@ class SteadyStateSolver:
         tec_activation:
             Per-device activation in [0, 1].
         """
-        lu = self._factorization(fan_level, tec_activation)
-        rhs = self.model.rhs(p_components_w, fan_level, tec_activation)
-        self.n_solves += 1
-        t = lu.solve(rhs)
+        with obs.span("thermal.solve", hist_ms="thermal.solver_ms"):
+            lu = self._factorization(fan_level, tec_activation)
+            rhs = self.model.rhs(p_components_w, fan_level, tec_activation)
+            self.n_solves += 1
+            t = lu.solve(rhs)
         if not np.all(np.isfinite(t)):
             raise ThermalModelError("non-finite steady-state temperatures")
         return t

@@ -25,6 +25,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.exceptions import ThermalModelError
+from repro.obs import telemetry as obs
 from repro.thermal.conductance import ConductanceModel
 
 
@@ -55,8 +56,9 @@ class PaperTransient:
         tec_activation: np.ndarray,
     ) -> np.ndarray:
         """Advance one interval: ``(1 - beta) Ts + beta T_prev`` [K]."""
-        beta = self.betas(dt_s, fan_level, tec_activation)
-        return (1.0 - beta) * t_steady_k + beta * t_prev_k
+        with obs.span("thermal.step"):
+            beta = self.betas(dt_s, fan_level, tec_activation)
+            return (1.0 - beta) * t_steady_k + beta * t_prev_k
 
     def interpolate(
         self,
@@ -104,11 +106,12 @@ class ExactTransient:
         """
         if dt_s <= 0:
             raise ThermalModelError(f"non-positive time step {dt_s}")
-        g = self.model.matrix(fan_level, tec_activation).toarray()
-        c_inv = 1.0 / self.model.nodes.capacities
-        a = -c_inv[:, None] * g
-        phi = scipy.linalg.expm(a * dt_s)
-        return t_steady_k + phi @ (t_prev_k - t_steady_k)
+        with obs.span("thermal.exact_step"):
+            g = self.model.matrix(fan_level, tec_activation).toarray()
+            c_inv = 1.0 / self.model.nodes.capacities
+            a = -c_inv[:, None] * g
+            phi = scipy.linalg.expm(a * dt_s)
+            return t_steady_k + phi @ (t_prev_k - t_steady_k)
 
     def time_constants_s(
         self, fan_level: int, tec_activation: np.ndarray

@@ -80,9 +80,19 @@ def test_empty_trace_rejected():
 
 def test_variable_dt_weighting():
     tr = TraceRecorder()
-    tr.append(0.0, 1.0, 80.0, 100.0, 85.0, 0.6, 14.4, 1e9, 0, 1, 5.0)
-    tr.append(1.0, 3.0, 90.0, 20.0, 5.0, 0.6, 14.4, 1e9, 0, 1, 5.0)
+    tr.append(time_s=0.0, dt_s=1.0, peak_temp_c=80.0, p_chip_w=100.0,
+              p_cores_w=85.0, p_tec_w=0.6, p_fan_w=14.4, ips_chip=1e9,
+              tec_on=0, fan_level=1, mean_dvfs_level=5.0)
+    tr.append(time_s=1.0, dt_s=3.0, peak_temp_c=90.0, p_chip_w=20.0,
+              p_cores_w=5.0, p_tec_w=0.6, p_fan_w=14.4, ips_chip=1e9,
+              tec_on=0, fan_level=1, mean_dvfs_level=5.0)
     assert tr.average_power_w() == pytest.approx((100 + 3 * 20) / 4)
     problem = EnergyProblem(t_threshold_c=85.0)
     m = summarize(tr, problem, "P", "wl", 1, 1e6)
     assert m.violation_rate == pytest.approx(3.0 / 4.0)  # time-weighted
+
+
+def test_append_is_keyword_only():
+    tr = TraceRecorder()
+    with pytest.raises(TypeError):
+        tr.append(0.0, 1.0, 80.0, 100.0, 85.0, 0.6, 14.4, 1e9, 0, 1, 5.0)

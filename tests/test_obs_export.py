@@ -1,0 +1,121 @@
+"""Exporters: JSONL round-trip, run manifests, jsonable coercion."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ObservabilityError
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    Telemetry,
+    build_manifest,
+    git_sha,
+    jsonable,
+    read_jsonl,
+    telemetry_records,
+    write_jsonl,
+)
+
+
+def _populated_session() -> Telemetry:
+    tel = Telemetry()
+    with tel.span("engine.step"):
+        with tel.span("thermal.solve", hist_ms="thermal.solver_ms"):
+            pass
+    tel.metrics.counter("tec.switch_events").inc(4)
+    tel.metrics.gauge("fan.level").set(2.0)
+    tel.event("interval", time_s=0.002, peak_temp_c=81.5)
+    tel.annotate("workload", "lu/16t")
+    return tel
+
+
+def test_records_start_with_manifest():
+    tel = _populated_session()
+    records = telemetry_records(tel)
+    assert records[0]["type"] == "manifest"
+    types = {r["type"] for r in records[1:]}
+    assert types == {"span", "span_edge", "counter", "gauge", "histogram",
+                     "event"}
+
+
+def test_jsonl_round_trip_via_file(tmp_path):
+    tel = _populated_session()
+    path = tmp_path / "run.jsonl"
+    text = write_jsonl(tel, path)
+    assert path.read_text() == text
+    parsed = read_jsonl(path)
+    snap = tel.snapshot()
+    assert parsed["spans"] == snap["spans"]
+    assert parsed["span_edges"] == snap["span_edges"]
+    assert parsed["counters"] == snap["counters"]
+    assert parsed["gauges"] == snap["gauges"]
+    assert parsed["histograms"] == snap["histograms"]
+    assert len(parsed["events"]) == 1
+    assert parsed["events"][0]["kind"] == "interval"
+    assert parsed["events"][0]["peak_temp_c"] == 81.5
+    assert parsed["manifest"]["context"]["workload"] == "lu/16t"
+
+
+def test_jsonl_round_trip_from_raw_text():
+    tel = _populated_session()
+    parsed = read_jsonl(write_jsonl(tel))
+    assert parsed["counters"]["tec.switch_events"] == 4
+
+
+def test_read_jsonl_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "counter", "name": "x", "value": 1}\nnot json\n')
+    with pytest.raises(ObservabilityError, match="line 2"):
+        read_jsonl(path)
+
+
+def test_read_jsonl_rejects_unknown_type(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "mystery"}\n')
+    with pytest.raises(ObservabilityError, match="unknown type"):
+        read_jsonl(path)
+
+
+def test_manifest_fields():
+    tel = _populated_session()
+    manifest = build_manifest(tel, extra={"command": "profile"})
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["repro_version"] == repro.__version__
+    assert manifest["python"].count(".") >= 1
+    assert manifest["events_recorded"] == 1
+    assert manifest["events_dropped"] == 0
+    assert manifest["command"] == "profile"
+    assert manifest["telemetry"]["spans"]["engine.step"]["count"] == 1
+    # The whole manifest must be encodable as-is.
+    json.dumps(manifest)
+
+
+def test_git_sha_degrades_to_none_outside_repo(tmp_path):
+    sha = git_sha()  # this checkout
+    assert sha is None or len(sha) == 40
+    assert git_sha(cwd=tmp_path) is None
+
+
+def test_jsonable_coerces_awkward_values():
+    @dataclasses.dataclass
+    class Cfg:
+        dt: float
+        gains: np.ndarray
+
+    value = {
+        "cfg": Cfg(dt=2e-3, gains=np.array([1.0, 2.0])),
+        "n": np.int64(7),
+        "bad": float("nan"),
+        "obj": object(),
+        "seq": (1, 2),
+    }
+    out = jsonable(value)
+    assert out["cfg"] == {"dt": 2e-3, "gains": [1.0, 2.0]}
+    assert out["n"] == 7
+    assert out["bad"] == "nan"
+    assert out["obj"].startswith("<object object")
+    assert out["seq"] == [1, 2]
+    json.dumps(out)

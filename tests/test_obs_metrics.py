@@ -1,0 +1,94 @@
+"""Metrics registry: counters, gauges, histogram bucket edges, kind clashes."""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import DEFAULT_MS_BUCKETS, Histogram, MetricsRegistry
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+def test_counter_increments(reg):
+    c = reg.counter("tec.switch_events")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    # create-on-first-use returns the same instance
+    assert reg.counter("tec.switch_events") is c
+
+
+def test_counter_rejects_negative(reg):
+    with pytest.raises(ObservabilityError):
+        reg.counter("x").inc(-1)
+
+
+def test_gauge_holds_last_value(reg):
+    g = reg.gauge("fan.level")
+    g.set(2.0)
+    g.set(1.0)
+    assert g.value == 1.0
+
+
+def test_histogram_bucket_edges_bisect_left():
+    h = Histogram(name="h", edges=(1.0, 2.0, 5.0))
+    # bisect_left: a value exactly on an edge lands in the bucket whose
+    # upper bound IS that edge (v <= edge).
+    h.observe(0.5)   # bucket 0 (<= 1.0)
+    h.observe(1.0)   # bucket 0 (on edge)
+    h.observe(1.5)   # bucket 1 (<= 2.0)
+    h.observe(5.0)   # bucket 2 (on last edge)
+    h.observe(7.0)   # overflow
+    assert list(h.counts) == [2, 1, 1, 1]
+    assert h.overflow == 1
+    assert h.count == 5
+    assert h.mean == pytest.approx((0.5 + 1.0 + 1.5 + 5.0 + 7.0) / 5)
+    assert h.min == 0.5
+    assert h.max == 7.0
+
+
+def test_histogram_requires_increasing_edges():
+    with pytest.raises(ObservabilityError):
+        Histogram(name="bad", edges=(1.0, 1.0))
+    with pytest.raises(ObservabilityError):
+        Histogram(name="bad", edges=(2.0, 1.0))
+    with pytest.raises(ObservabilityError):
+        Histogram(name="bad", edges=())
+
+
+def test_default_ms_buckets_are_valid():
+    h = Histogram(name="ms", edges=DEFAULT_MS_BUCKETS)
+    h.observe(0.3)
+    assert h.count == 1
+
+
+def test_histogram_reregistration_edge_mismatch(reg):
+    reg.histogram("thermal.solver_ms", edges=(1.0, 2.0))
+    # same edges: fine, same instance
+    again = reg.histogram("thermal.solver_ms", edges=(1.0, 2.0))
+    assert again is reg.histogram("thermal.solver_ms", edges=(1.0, 2.0))
+    with pytest.raises(ObservabilityError):
+        reg.histogram("thermal.solver_ms", edges=(1.0, 3.0))
+
+
+def test_kind_clash_raises(reg):
+    reg.counter("metric.a")
+    with pytest.raises(ObservabilityError):
+        reg.gauge("metric.a")
+    with pytest.raises(ObservabilityError):
+        reg.histogram("metric.a", edges=(1.0,))
+
+
+def test_snapshot_shape_and_reset(reg):
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(3.5)
+    reg.histogram("h", edges=(1.0,)).observe(0.5)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 3.5}
+    assert snap["histograms"]["h"]["count"] == 1
+    reg.reset()
+    empty = reg.snapshot()
+    assert empty == {"counters": {}, "gauges": {}, "histograms": {}}

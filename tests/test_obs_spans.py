@@ -1,0 +1,125 @@
+"""Span tracking: nesting, aggregation, self-time, call edges."""
+
+import pytest
+
+from repro.obs import SpanTracker, Telemetry
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracker(clock):
+    return SpanTracker(clock=clock)
+
+
+def test_single_span_aggregates(tracker, clock):
+    for dur in (1.0, 3.0):
+        tracker.start("engine.step")
+        clock.now += dur
+        tracker.stop()
+    st = tracker.stats["engine.step"]
+    assert st.count == 2
+    assert st.total_s == pytest.approx(4.0)
+    assert st.mean_s == pytest.approx(2.0)
+    assert st.min_s == pytest.approx(1.0)
+    assert st.max_s == pytest.approx(3.0)
+    assert st.self_s == pytest.approx(4.0)  # no children
+
+
+def test_nested_spans_self_time_and_edges(tracker, clock):
+    tracker.start("engine.step")
+    clock.now += 1.0
+    tracker.start("thermal.solve")
+    clock.now += 2.0
+    tracker.stop()
+    clock.now += 0.5
+    tracker.start("thermal.solve")
+    clock.now += 1.5
+    tracker.stop()
+    tracker.stop()
+
+    outer = tracker.stats["engine.step"]
+    inner = tracker.stats["thermal.solve"]
+    assert outer.total_s == pytest.approx(5.0)
+    assert outer.self_s == pytest.approx(1.5)  # 5.0 - (2.0 + 1.5)
+    assert inner.count == 2
+    assert inner.total_s == pytest.approx(3.5)
+    assert inner.self_s == pytest.approx(3.5)
+
+    edges = {(e["parent"], e["child"]): e["count"]
+             for e in tracker.edge_snapshot()}
+    assert edges[(None, "engine.step")] == 1
+    assert edges[("engine.step", "thermal.solve")] == 2
+
+
+def test_depth_tracks_open_spans(tracker):
+    assert tracker.depth == 0
+    tracker.start("a")
+    tracker.start("b")
+    assert tracker.depth == 2
+    tracker.stop()
+    tracker.stop()
+    assert tracker.depth == 0
+
+
+def test_snapshot_is_json_safe_and_sorted(tracker, clock):
+    for name in ("b.second", "a.first"):
+        tracker.start(name)
+        clock.now += 1.0
+        tracker.stop()
+    snap = tracker.snapshot()
+    assert list(snap) == ["a.first", "b.second"]
+    assert set(snap["a.first"]) == {
+        "count", "total_s", "mean_s", "self_s", "min_s", "max_s"
+    }
+
+
+def test_reset_clears_everything(tracker, clock):
+    tracker.start("x")
+    clock.now += 1.0
+    tracker.stop()
+    tracker.start("open")
+    tracker.reset()
+    assert tracker.stats == {}
+    assert tracker.edges == {}
+    assert tracker.depth == 0
+
+
+def test_telemetry_span_context_manager_nests():
+    tel = Telemetry()
+    with tel.span("outer"):
+        with tel.span("inner"):
+            pass
+    assert tel.spans.stats["outer"].count == 1
+    assert tel.spans.stats["inner"].count == 1
+    assert (("outer", "inner") in tel.spans.edges)
+
+
+def test_telemetry_span_closes_on_exception():
+    tel = Telemetry()
+    with pytest.raises(RuntimeError):
+        with tel.span("risky"):
+            raise RuntimeError("boom")
+    assert tel.spans.depth == 0
+    assert tel.spans.stats["risky"].count == 1
+
+
+def test_span_histogram_feed():
+    tel = Telemetry()
+    with tel.span("thermal.solve", hist_ms="thermal.solver_ms"):
+        pass
+    snap = tel.metrics.snapshot()
+    assert snap["histograms"]["thermal.solver_ms"]["count"] == 1
