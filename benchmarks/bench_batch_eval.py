@@ -1,0 +1,227 @@
+"""Benchmark: batched what-if evaluation vs the sequential path.
+
+Measures the two layers this perf subsystem adds:
+
+1. **Candidate rounds** — many-candidate ``evaluate_many`` against
+   per-candidate ``evaluate`` on the 16-core chip, for both the full
+   (:class:`~repro.core.estimator.NextIntervalEstimator`) and banded
+   (:class:`~repro.core.local_estimator.LocalBandedEstimator`)
+   estimators. Equivalence is asserted bit-exactly on every round.
+2. **Experiment fan-out** — ``run_fan_sweep`` wall time, serial vs
+   ``--jobs``-parallel, with identical-metrics assertion. The SPLASH-2
+   runs here finish in well under a second each, so spawning worker
+   processes (fresh interpreters importing numpy/scipy) dominates and
+   the parallel sweep *loses* on wall time — the number is recorded
+   honestly as the fan-out floor. ``--jobs`` pays off on long suites
+   (oracle runs, many workloads); this stage only asserts that the
+   parallel path returns bit-identical results.
+
+Run directly (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_eval.py
+    PYTHONPATH=src python benchmarks/bench_batch_eval.py --smoke
+
+The full run writes ``benchmarks/results/BENCH_batch_eval.json`` — the
+tracked perf baseline; refresh it whenever the evaluation hot path
+changes (see ``docs/PERFORMANCE.md``). ``--smoke`` is the CI
+configuration: a tiny chip, correctness assertions and a printed
+speedup, no timing gates and no baseline rewrite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS_DIR / "BENCH_batch_eval.json"
+
+
+def _primed(cls, system, seed=0):
+    from repro.core.state import ActuatorState
+    from repro.perf.ips import IPSTracker
+
+    est = cls(system=system, ips_predictor=IPSTracker(dvfs=system.dvfs))
+    rng = np.random.default_rng(seed)
+    state = ActuatorState.initial(
+        system.n_tec_devices, system.n_cores, system.dvfs.max_level, 2
+    )
+    state = state.with_dvfs_vector(
+        np.full(system.n_cores, system.dvfs.max_level // 2)
+    )
+    temps = 60.0 + 10.0 * rng.random(system.nodes.n_components)
+    p = 1.0 + rng.random(system.nodes.n_components)
+    ips = 1e9 * (1.0 + rng.random(system.n_cores))
+    est.begin_interval(temps, p, ips, state, 2e-3)
+    return est, state
+
+
+def _round_candidates(system, state):
+    """One controller round's worth of candidates: all one-level DVFS
+    moves — the ``_best_raise``/``_best_lowering`` sets the controller
+    hands to ``evaluate_many`` each decision interval."""
+    cands = []
+    for core in range(system.n_cores):
+        lv = int(state.dvfs[core])
+        if lv < system.dvfs.max_level:
+            cands.append(state.with_dvfs(core, lv + 1))
+        if lv > 0:
+            cands.append(state.with_dvfs(core, lv - 1))
+    return cands
+
+
+def bench_candidate_rounds(system, kind: str, rounds: int) -> dict:
+    """Sequential-vs-batched evaluation of identical candidate rounds."""
+    from repro.core.estimator import NextIntervalEstimator
+    from repro.core.local_estimator import LocalBandedEstimator
+
+    cls = {
+        "full": NextIntervalEstimator,
+        "banded": LocalBandedEstimator,
+    }[kind]
+
+    est_seq, state = _primed(cls, system)
+    est_bat, _ = _primed(cls, system)
+    cands = _round_candidates(system, state)
+
+    # Warm up factorization caches / core blocks outside the timed loop,
+    # then clear the per-interval memo so every round actually evaluates.
+    est_seq.evaluate(state)
+    est_bat.evaluate(state)
+
+    t_seq = 0.0
+    t_bat = 0.0
+    for _ in range(rounds):
+        est_seq._cache.clear()
+        t0 = time.perf_counter()
+        seq = [est_seq.evaluate(c) for c in cands]
+        t_seq += time.perf_counter() - t0
+
+        est_bat._cache.clear()
+        t0 = time.perf_counter()
+        bat = est_bat.evaluate_many(cands)
+        t_bat += time.perf_counter() - t0
+
+        for s, b in zip(seq, bat):
+            assert np.array_equal(s.t_nodes_k, b.t_nodes_k), kind
+            assert s.epi == b.epi and s.peak_temp_c == b.peak_temp_c, kind
+
+    return {
+        "estimator": kind,
+        "candidates_per_round": len(cands),
+        "rounds": rounds,
+        "sequential_ms_per_round": 1e3 * t_seq / rounds,
+        "batched_ms_per_round": 1e3 * t_bat / rounds,
+        "speedup": t_seq / t_bat if t_bat > 0 else float("inf"),
+    }
+
+
+def bench_sweep(system, jobs: int, max_time_s: float) -> dict:
+    """Serial vs parallel ``run_fan_sweep`` wall time, same results."""
+    from repro.core.baselines import FanTECController
+    from repro.core.engine import (
+        EngineConfig,
+        SimulationEngine,
+        run_fan_sweep,
+    )
+    from repro.core.problem import EnergyProblem
+    from repro.perf import splash2_workload
+    from repro.perf.splash2 import REF_FREQ_GHZ
+    from repro.perf.workload import WorkloadRun
+
+    wl = splash2_workload("lu", system.n_cores, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=76.0),
+        EngineConfig(max_time_s=max_time_s),
+    )
+
+    def make_run():
+        return WorkloadRun(wl, system.chip, REF_FREQ_GHZ)
+
+    t0 = time.perf_counter()
+    chosen_s, sweep_s = run_fan_sweep(engine, make_run, FanTECController())
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    chosen_p, sweep_p = run_fan_sweep(
+        engine, make_run, FanTECController(), jobs=jobs
+    )
+    t_parallel = time.perf_counter() - t0
+
+    assert sweep_p == sweep_s, "parallel sweep diverged from serial"
+    assert chosen_p.metrics == chosen_s.metrics
+
+    return {
+        "fan_levels": len(sweep_s),
+        "jobs": jobs,
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny chip, correctness only, no baseline rewrite",
+    )
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    from repro.core.system import build_system
+
+    if args.smoke:
+        system = build_system(rows=2, cols=2)
+        rounds = args.rounds or 5
+        max_time_s = 0.02
+    else:
+        system = build_system()  # the paper's 16-core platform
+        rounds = args.rounds or 50
+        max_time_s = 0.1
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "cores": system.n_cores,
+        "candidate_rounds": [],
+    }
+    ok = True
+    for kind in ("full", "banded"):
+        entry = bench_candidate_rounds(system, kind, rounds)
+        report["candidate_rounds"].append(entry)
+        print(
+            f"{kind:7s}: {entry['candidates_per_round']} candidates/round, "
+            f"sequential {entry['sequential_ms_per_round']:.2f} ms, "
+            f"batched {entry['batched_ms_per_round']:.2f} ms "
+            f"-> {entry['speedup']:.2f}x"
+        )
+        if not args.smoke and entry["speedup"] < 3.0:
+            print(f"FAIL: {kind} speedup {entry['speedup']:.2f}x < 3x")
+            ok = False
+
+    sweep = bench_sweep(system, args.jobs, max_time_s)
+    report["fan_sweep"] = sweep
+    print(
+        f"fan sweep ({sweep['fan_levels']} levels): serial "
+        f"{sweep['serial_s']:.2f} s, jobs={sweep['jobs']} "
+        f"{sweep['parallel_s']:.2f} s -> {sweep['speedup']:.2f}x"
+    )
+
+    if not args.smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BASELINE.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[saved to {BASELINE}]")
+    print("equivalence: OK (all rounds bit-identical)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,6 +123,25 @@ class PolicyOutcome:
     sweep: list = field(default_factory=list)
 
 
+def _policy_suite_task(payload: tuple) -> tuple:
+    """One policy's simulation of a suite (module-level: spawn-picklable).
+
+    ``payload`` is ``(engine, wl, policy, problem, violation_tolerance)``.
+    The ``make_run`` closure a fan sweep needs is rebuilt here, inside
+    the worker, because closures do not pickle.
+    """
+    engine, wl, policy, problem, violation_tolerance = payload
+    if isinstance(policy, TECfanController):
+        return run_tecfan_with_own_fan_rule(engine, wl, policy, problem)
+    system = engine.system
+    return run_fan_sweep(
+        engine,
+        lambda: WorkloadRun(wl, system.chip, REF_FREQ_GHZ),
+        policy,
+        violation_tolerance=violation_tolerance,
+    )
+
+
 def run_policy_suite(
     system: CMPSystem,
     workload: str,
@@ -131,8 +150,16 @@ def run_policy_suite(
     dt_s: float = DT_LOWER_S,
     violation_tolerance: float = 0.10,
     base: BaseScenario | None = None,
+    jobs: int | None = None,
 ) -> tuple[BaseScenario, dict[str, PolicyOutcome]]:
-    """Base scenario + fan-swept policy runs for one workload case."""
+    """Base scenario + fan-swept policy runs for one workload case.
+
+    ``jobs`` fans the per-policy simulations out across worker processes
+    (see :func:`repro.parallel.parallel_map`); each policy's runs are
+    independent, so the outcomes match serial execution exactly.
+    """
+    from repro.parallel import parallel_map
+
     if base is None:
         base = run_base_scenario(system, workload, threads, dt_s)
     problem = EnergyProblem(t_threshold_c=base.t_threshold_c)
@@ -140,29 +167,31 @@ def run_policy_suite(
         system, problem, EngineConfig(dt_lower_s=dt_s, max_time_s=MAX_SIM_TIME_S)
     )
     wl = splash2_workload(workload, threads, system.chip)
+    policy_list = list(policies if policies is not None else make_policies())
+    # Fan-only *is* the base scenario (Sec. V-A): the fastest fan,
+    # because any slower level already violates without knobs.
+    simulated = [
+        p for p in policy_list if not isinstance(p, FanOnlyController)
+    ]
+    payloads = [
+        (engine, wl, policy, problem, violation_tolerance)
+        for policy in simulated
+    ]
+    pairs = parallel_map(_policy_suite_task, payloads, jobs)
+    by_name = {p.name: pair for p, pair in zip(simulated, pairs)}
     outcomes: dict[str, PolicyOutcome] = {}
-    for policy in policies if policies is not None else make_policies():
+    for policy in policy_list:
         if isinstance(policy, FanOnlyController):
-            # Fan-only *is* the base scenario (Sec. V-A): the fastest fan,
-            # because any slower level already violates without knobs.
             outcomes[policy.name] = PolicyOutcome(
-                policy=policy.name, chosen=base.result, sweep=[base.result.metrics]
-            )
-            continue
-        if isinstance(policy, TECfanController):
-            chosen, sweep = run_tecfan_with_own_fan_rule(
-                engine, wl, policy, problem
+                policy=policy.name,
+                chosen=base.result,
+                sweep=[base.result.metrics],
             )
         else:
-            chosen, sweep = run_fan_sweep(
-                engine,
-                lambda: WorkloadRun(wl, system.chip, REF_FREQ_GHZ),
-                policy,
-                violation_tolerance=violation_tolerance,
+            chosen, sweep = by_name[policy.name]
+            outcomes[policy.name] = PolicyOutcome(
+                policy=policy.name, chosen=chosen, sweep=sweep
             )
-        outcomes[policy.name] = PolicyOutcome(
-            policy=policy.name, chosen=chosen, sweep=sweep
-        )
     return base, outcomes
 
 

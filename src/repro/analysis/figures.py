@@ -223,12 +223,20 @@ class SplashComparison:
 
 
 def splash_comparison(
-    system: CMPSystem, cases: tuple = FIGURE_CASES
+    system: CMPSystem,
+    cases: tuple = FIGURE_CASES,
+    jobs: int | None = None,
 ) -> SplashComparison:
-    """Run the full policy suite on the Figs. 5-6 benchmark set."""
+    """Run the full policy suite on the Figs. 5-6 benchmark set.
+
+    ``jobs`` parallelizes each case's per-policy simulations (see
+    :func:`repro.analysis.experiments.run_policy_suite`).
+    """
     comp = SplashComparison(cases=cases)
     for workload, threads in cases:
-        base, outcomes = run_policy_suite(system, workload, threads)
+        base, outcomes = run_policy_suite(
+            system, workload, threads, jobs=jobs
+        )
         comp.bases[(workload, threads)] = base
         comp.outcomes[(workload, threads)] = outcomes
     return comp

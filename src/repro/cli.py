@@ -50,7 +50,7 @@ def _cmd_fig56(args, which: str) -> int:
     )
     from repro.core.system import build_system
 
-    comp = splash_comparison(build_system())
+    comp = splash_comparison(build_system(), jobs=args.jobs)
     print(format_figure5(comp) if which == "5" else format_figure6(comp))
     return 0
 
@@ -86,7 +86,7 @@ def _cmd_quick(args) -> int:
     from repro.core.system import build_system
 
     system = build_system()
-    base, outcomes = run_policy_suite(system, "lu", 16)
+    base, outcomes = run_policy_suite(system, "lu", 16, jobs=args.jobs)
     print(f"lu/16t: threshold = {base.t_threshold_c:.2f} degC")
     bm = base.result.metrics
     for name, oc in outcomes.items():
@@ -160,15 +160,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="record a telemetry session and write its JSONL stream here",
     )
+    # Experiment fan-out (policy suites): worker process count.
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run independent simulations across N worker processes "
+        "(0 = auto: TECFAN_JOBS env var, else the CPU count); results "
+        "are identical to serial execution",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", parents=[common], help="Table I base scenario")
     sub.add_parser("fig4", parents=[common], help="Figure 4: TEC+fan integration")
-    sub.add_parser("fig5", parents=[common], help="Figure 5: cooling performance")
-    sub.add_parser("fig6", parents=[common], help="Figure 6: energy efficiency")
+    sub.add_parser(
+        "fig5",
+        parents=[common, jobs_parent],
+        help="Figure 5: cooling performance",
+    )
+    sub.add_parser(
+        "fig6",
+        parents=[common, jobs_parent],
+        help="Figure 6: energy efficiency",
+    )
     p7 = sub.add_parser("fig7", parents=[common], help="Figure 7: server comparison")
     p7.add_argument("--minutes", type=int, default=10)
     sub.add_parser("hwcost", parents=[common], help="Sec. III-E hardware cost")
-    sub.add_parser("quick", parents=[common], help="fast end-to-end demo")
+    sub.add_parser(
+        "quick", parents=[common, jobs_parent], help="fast end-to-end demo"
+    )
     prof = sub.add_parser(
         "profile",
         parents=[common],

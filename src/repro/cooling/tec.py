@@ -173,6 +173,79 @@ class TECArray:
         )
         return out
 
+    def _scatter_segments(self) -> list | None:
+        """Per-entry-rank index pairs for the batched footprint scatter.
+
+        Segment ``e`` holds (device indices, coo positions) of every
+        device's ``e``-th footprint entry. Requires ``coo_device`` to be
+        sorted (the builder emits it grouped per device); returns None
+        otherwise and the batched scatter falls back to ``np.add.at``.
+        """
+        segs = getattr(self, "_scatter_segs", None)
+        if segs is None:
+            d = self.coo_device
+            if d.size and np.any(np.diff(d) < 0):
+                segs = ()
+            else:
+                counts = np.bincount(d, minlength=self.n_devices)
+                starts = np.searchsorted(d, np.arange(self.n_devices))
+                segs = []
+                for e in range(int(counts.max()) if counts.size else 0):
+                    mask = counts > e
+                    segs.append((np.flatnonzero(mask), starts[mask] + e))
+            object.__setattr__(self, "_scatter_segs", segs)
+        return segs or None
+
+    def cold_side_temperature_many(
+        self, t_components_rows_k: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`cold_side_temperature_k` over a ``(batch, n_comp)``
+        matrix, one row per candidate field; row ``b`` is bit-identical
+        to the single-field call.
+
+        Each device accumulates its footprint terms in the 1-D scatter's
+        entry order: one vectorized add per entry rank when the COO
+        arrays are device-sorted, an axis-0 ``np.add.at`` otherwise.
+        """
+        t = np.asarray(t_components_rows_k, dtype=float)
+        segs = self._scatter_segments()
+        if segs is not None:
+            vals = self.coo_weight[None, :] * t[:, self.coo_component]
+            out = np.zeros((t.shape[0], self.n_devices))
+            for devs, sel in segs:
+                out[:, devs] += vals[:, sel]
+            return out
+        acc = np.zeros((self.n_devices, t.shape[0]))
+        np.add.at(
+            acc,
+            self.coo_device,
+            self.coo_weight[:, None] * t[:, self.coo_component].T,
+        )
+        return acc.T
+
+    def electrical_power_many(
+        self,
+        state: np.ndarray,
+        t_cold_rows_k: np.ndarray,
+        t_hot_rows_k: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`electrical_power_w` for one activation vector against
+        ``(batch, n_devices)`` temperature rows; row ``b`` is
+        bit-identical to the per-row call (the Eq. (9) arithmetic is
+        elementwise, so broadcasting changes nothing)."""
+        state = np.asarray(state, dtype=float)
+        if state.shape != (self.n_devices,):
+            raise ConfigurationError(
+                f"state has shape {state.shape}, expected ({self.n_devices},)"
+            )
+        if np.any(state < 0.0) or np.any(state > 1.0):
+            raise ConfigurationError("TEC activations must lie in [0, 1]")
+        d_theta = np.asarray(t_hot_rows_k) - np.asarray(t_cold_rows_k)
+        return (
+            self.joule_scale(state) * self.joule_w
+            + state * self.alpha_i * d_theta
+        )
+
 
 def build_tec_array(
     chip: ChipFloorplan,

@@ -416,11 +416,30 @@ class SimulationEngine:
         return out
 
 
+def _fan_sweep_task(payload: tuple) -> SimulationResult:
+    """One fan level of a sweep (module-level: spawn-picklable).
+
+    ``payload`` is ``(engine, run, controller, level)`` — each worker
+    receives its own pickled copies, so mutating the controller or the
+    run is isolated exactly as a fresh serial iteration would be.
+    """
+    engine, run, controller, level = payload
+    controller.reset()
+    state = ActuatorState.initial(
+        engine.system.n_tec_devices,
+        engine.system.n_cores,
+        engine.system.dvfs.max_level,
+        fan_level=level,
+    )
+    return engine.run(run, controller, initial_state=state)
+
+
 def run_fan_sweep(
     engine: SimulationEngine,
     make_run,
     controller: Controller,
     violation_tolerance: float = 0.05,
+    jobs: int | None = None,
 ) -> tuple[SimulationResult, list[RunMetrics]]:
     """Run a policy at every fan level; keep the paper's selection.
 
@@ -438,21 +457,25 @@ def run_fan_sweep(
     make_run:
         Zero-argument callable producing a fresh :class:`WorkloadRun`
         (each level needs untouched instruction accounting).
+    jobs:
+        Fan levels to simulate concurrently (see
+        :func:`repro.parallel.parallel_map`); the per-level runs are
+        independent and deterministic, so any worker count produces the
+        results of the serial loop.
     """
+    from repro.parallel import parallel_map, resolve_jobs
+
     fan = engine.system.fan
-    results: list[SimulationResult] = []
-    all_metrics: list[RunMetrics] = []
-    for level in range(1, fan.n_levels + 1):
-        controller.reset()
-        state = ActuatorState.initial(
-            engine.system.n_tec_devices,
-            engine.system.n_cores,
-            engine.system.dvfs.max_level,
-            fan_level=level,
-        )
-        res = engine.run(make_run(), controller, initial_state=state)
-        results.append(res)
-        all_metrics.append(res.metrics)
+    levels = range(1, fan.n_levels + 1)
+    if resolve_jobs(jobs) > 1:
+        payloads = [(engine, make_run(), controller, lv) for lv in levels]
+        results = parallel_map(_fan_sweep_task, payloads, jobs)
+    else:
+        results = [
+            _fan_sweep_task((engine, make_run(), controller, lv))
+            for lv in levels
+        ]
+    all_metrics = [res.metrics for res in results]
     qualifying = [
         res
         for res in results

@@ -39,7 +39,14 @@ from repro.power.dynamic import DynamicPowerTracker
 
 
 class IPSPredictor(Protocol):
-    """Strategy mapping a candidate DVFS vector to per-core IPS."""
+    """Strategy mapping a candidate DVFS vector to per-core IPS.
+
+    Predictors may additionally provide ``predict_many(levels)`` taking a
+    ``(batch, n_cores)`` level matrix and returning ``(batch, n_cores)``
+    IPS, with each row bit-identical to the corresponding ``predict``
+    call; :func:`predict_ips_many` falls back to a per-row loop when the
+    batched form is absent.
+    """
 
     def observe(self, ips: np.ndarray, dvfs_levels: np.ndarray) -> None:
         """Record the last interval's measured IPS and levels."""
@@ -48,6 +55,21 @@ class IPSPredictor(Protocol):
     def predict(self, dvfs_levels: np.ndarray) -> np.ndarray:
         """Per-core IPS for a candidate level vector."""
         ...
+
+
+def predict_ips_many(
+    predictor: IPSPredictor, levels: np.ndarray
+) -> np.ndarray:
+    """Batched per-core IPS for a ``(batch, n_cores)`` level matrix.
+
+    Uses the predictor's vectorized ``predict_many`` when available,
+    otherwise stacks per-row ``predict`` calls. Either way row ``b``
+    is bit-identical to ``predictor.predict(levels[b])``.
+    """
+    batched = getattr(predictor, "predict_many", None)
+    if batched is not None:
+        return np.asarray(batched(levels))
+    return np.stack([predictor.predict(lv) for lv in np.asarray(levels)])
 
 
 @dataclass(frozen=True)
@@ -189,6 +211,107 @@ class NextIntervalEstimator:
         )
         self._cache[key] = est
         return est
+
+    # ------------------------------------------------------------------
+    def evaluate_many(self, states: list) -> list:
+        """Batched :meth:`evaluate` over many candidate states.
+
+        The returned list matches ``states`` positionally and every
+        :class:`Estimate` is bit-identical to what the sequential call
+        would produce: cached entries are served from the memo cache,
+        misses sharing an actuator setting (fan level + TEC vector) go
+        through one multi-RHS :meth:`SteadyStateSolver.solve_many`, and
+        all per-candidate arithmetic keeps the sequential operation
+        order. All computed estimates enter the memo cache.
+        """
+        if self._t_nodes_k is None:
+            raise ControlError("begin_interval must be called first")
+        results: list = [None] * len(states)
+        misses: list[tuple[int, ActuatorState, tuple]] = []
+        seen: set = set()
+        for i, state in enumerate(states):
+            key = state.key()
+            hit = self._cache.get(key)
+            if hit is not None:
+                obs.incr("estimator.cache_hits")
+                results[i] = hit
+            elif key not in seen:
+                seen.add(key)
+                misses.append((i, state, key))
+            # duplicates within the batch resolve from the cache below
+        if not misses:
+            for i, state in enumerate(states):
+                if results[i] is None:
+                    obs.incr("estimator.cache_hits")
+                    results[i] = self._cache[state.key()]
+            return results
+
+        obs.incr("estimator.batch_calls")
+        obs.incr("estimator.batch_candidates", len(misses))
+        system = self.system
+        nodes = system.nodes
+        t_comp_k = self._t_nodes_k[nodes.component_slice]
+        p_leak = system.power.controller_leakage.per_component_w(t_comp_k)
+        p_leak_sum = p_leak.sum()
+        levels = np.stack([s.dvfs for _, s, _ in misses])
+        p_dyn_many = self.dyn_tracker.predict_many(levels)
+        ips_many = predict_ips_many(self.ips_predictor, levels)
+        # Row-wise reductions over contiguous copies are bit-identical to
+        # each row's own ``.sum()`` (pairwise summation runs per row in
+        # logical order; a strided source would reduce across rows).
+        p_dyn_sums = np.ascontiguousarray(p_dyn_many).sum(axis=1)
+        ips_sums = np.ascontiguousarray(ips_many).sum(axis=1)
+
+        # One multi-RHS solve per distinct (fan, TEC) setting: the LU
+        # factorization, Joule terms, transient betas, TEC power scatter
+        # and fan lookup are shared.
+        groups: dict = {}
+        for j, (_, state, _) in enumerate(misses):
+            gkey = (state.fan_level, state.tec.tobytes())
+            groups.setdefault(gkey, []).append(j)
+        for members in groups.values():
+            state0 = misses[members[0]][1]
+            fan, tec = state0.fan_level, state0.tec
+            p_matrix = p_dyn_many[members] + p_leak[None, :]
+            t_steady_rows = system.solver.solve_many(p_matrix, fan, tec)
+            beta = system.transient.betas(self._dt_s, fan, tec)
+            t_next_rows = (
+                (1.0 - beta)[None, :] * t_steady_rows
+                + beta[None, :] * self._t_nodes_k[None, :]
+            )
+            p_tec_rows = system.tec_power_many(tec, t_next_rows)
+            p_fan = system.fan.power_w(fan)
+            peaks = units.k_to_c(
+                t_next_rows[:, nodes.component_slice]
+            ).max(axis=1)
+            for r, j in enumerate(members):
+                i, state, key = misses[j]
+                t_next = t_next_rows[r]
+                peak_c = float(peaks[r])
+                p_cores = float(p_dyn_sums[j] + p_leak_sum)
+                p_tec = float(p_tec_rows[r])
+                p_chip = p_cores + p_tec + p_fan
+                ips = float(ips_sums[j])
+                self.n_evaluations += 1
+                obs.incr("estimator.evaluations")
+                est = Estimate(
+                    state=state,
+                    t_nodes_k=t_next,
+                    peak_temp_c=peak_c,
+                    p_chip_w=p_chip,
+                    p_cores_w=p_cores,
+                    p_tec_w=p_tec,
+                    p_fan_w=p_fan,
+                    ips_chip=ips,
+                    epi=EnergyProblem.epi(p_chip, ips),
+                )
+                self._cache[key] = est
+                results[i] = est
+        for i, state in enumerate(states):
+            if results[i] is None:  # in-batch duplicate of a miss
+                obs.incr("estimator.cache_hits")
+                results[i] = self._cache[state.key()]
+        return results
 
     # ------------------------------------------------------------------
     def evaluate_fan_setting(

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import units
-from repro.core.estimator import Estimate, IPSPredictor
+from repro.core.estimator import Estimate, IPSPredictor, predict_ips_many
 from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
 from repro.core.system import CMPSystem
@@ -81,12 +81,20 @@ class LocalBandedEstimator:
     n_core_solves: int = 0
 
     _blocks: list = field(default=None, repr=False)
+    _tile_devs: list = field(default=None, repr=False)
     _t_nodes_k: np.ndarray = field(default=None, repr=False)
     _dt_s: float = 0.0
     _base_state: ActuatorState = field(default=None, repr=False)
     _base_pred_comp_k: np.ndarray = field(default=None, repr=False)
     _p_leak: np.ndarray = field(default=None, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
+    # (core, tile-TEC-bytes) -> (a, b_base, beta): the power-independent
+    # part of a core solve. Valid only for the current observer field, so
+    # it is dropped whenever ``_t_nodes_k`` moves. ``_stack_cache`` keys
+    # stacked batch variants on the identity of these tuples, so the two
+    # are always cleared together.
+    _ctx_cache: dict = field(default_factory=dict, repr=False)
+    _stack_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.dyn_tracker is None:
@@ -142,6 +150,9 @@ class LocalBandedEstimator:
                 )
             )
         self._blocks = blocks
+        self._tile_devs = [
+            system.tec.tile_devices(core) for core in range(system.n_cores)
+        ]
 
     # ------------------------------------------------------------------
     def begin_interval(
@@ -190,38 +201,50 @@ class LocalBandedEstimator:
         self._base_state = state
         self._base_pred_comp_k = None
         self._cache.clear()
+        self._ctx_cache.clear()
+        self._stack_cache.clear()
 
     def commit(self, estimate: Estimate) -> None:
         """Adopt an accepted candidate's components into the observer."""
         self._t_nodes_k = estimate.t_nodes_k
+        self._ctx_cache.clear()
+        self._stack_cache.clear()
 
     # ------------------------------------------------------------------
-    def _solve_core(
-        self, core: int, state: ActuatorState, p_dyn: np.ndarray
-    ) -> np.ndarray:
-        """Banded next-interval prediction of one core's components [K]."""
-        self.n_core_solves += 1
-        obs.incr("estimator.core_solves")
+    def _core_context(self, core: int, state: ActuatorState):
+        """Power-independent pieces of one core solve: ``(a, b_base, beta)``.
+
+        ``a`` is the local conductance block with the TEC pump terms on
+        the diagonal, ``b_base`` the frozen-boundary inflow plus Joule
+        injection, ``beta`` the Eq. (5) relaxation factors. Depends on
+        the observer field and this tile's TEC activations only, so one
+        context serves every candidate power vector — including whole
+        batches in :meth:`evaluate_many`.
+        """
+        tile_devs = self._tile_devs[core]
+        key = (core, np.asarray(state.tec)[tile_devs].tobytes())
+        ctx = self._ctx_cache.get(key)
+        if ctx is not None:
+            return ctx
         system = self.system
         blk: _CoreBlock = self._blocks[core]
         idx = blk.comp_idx
         m = len(idx)
         a = blk.g_local.copy()
+        b_base = np.zeros(m)
         t_now = self._t_nodes_k
 
-        # RHS: component power + frozen-boundary inflow.
-        t_comp_now = t_now[system.nodes.component_slice]
-        b = (p_dyn + self._p_leak)[idx].astype(float)
+        # Frozen-boundary inflow.
         for k in range(m):
             if blk.ext_node[k].size:
-                b[k] += float(
+                b_base[k] += float(
                     np.dot(blk.ext_g[k], t_now[blk.ext_node[k]])
                 )
 
         # TEC terms for devices on this tile (pump on diagonal, Joule in
         # RHS; the hot side is the frozen spreader).
         tec = system.tec
-        for dev in tec.tile_devices(core):
+        for dev in tile_devs:
             s = float(state.tec[dev])
             if s <= 0.0:
                 continue
@@ -230,11 +253,26 @@ class LocalBandedEstimator:
             for ci, w in zip(placement.component_idx, placement.weights):
                 k = int(ci - idx[0])
                 a[k, k] += s * w * tec.alpha_i
-                b[k] += s_joule * w * 0.5 * tec.joule_w
+                b_base[k] += s_joule * w * 0.5 * tec.joule_w
 
-        t_steady = np.linalg.solve(a, b)
         # Eq. (5) per local node with the local diagonal conductance.
         beta = np.exp(-self._dt_s * np.diag(a) / blk.capacities)
+        ctx = (a, b_base, beta)
+        self._ctx_cache[key] = ctx
+        return ctx
+
+    def _solve_core(
+        self, core: int, state: ActuatorState, p_dyn: np.ndarray
+    ) -> np.ndarray:
+        """Banded next-interval prediction of one core's components [K]."""
+        self.n_core_solves += 1
+        obs.incr("estimator.core_solves")
+        blk: _CoreBlock = self._blocks[core]
+        idx = blk.comp_idx
+        a, b_base, beta = self._core_context(core, state)
+        b = (p_dyn + self._p_leak)[idx] + b_base
+        t_steady = np.linalg.solve(a, b)
+        t_comp_now = self._t_nodes_k[self.system.nodes.component_slice]
         t_next = (1.0 - beta) * t_steady + beta * t_comp_now[idx]
         return _quantize(t_next)
 
@@ -304,6 +342,171 @@ class LocalBandedEstimator:
         )
         self._cache[key] = est
         return est
+
+    # ------------------------------------------------------------------
+    def evaluate_many(self, states: list) -> list:
+        """Batched :meth:`evaluate` over many candidate states.
+
+        Positionally matches ``states``. Candidates needing the same
+        core context (same core, same tile TEC setting) are solved with
+        one stacked ``np.linalg.solve`` — LAPACK back-substitutes each
+        (m, m) system independently, so every row equals the sequential
+        single-candidate solve. All computed estimates enter the memo
+        cache.
+        """
+        if self._t_nodes_k is None:
+            raise ControlError("begin_interval must be called first")
+        results: list = [None] * len(states)
+        misses: list[tuple[int, ActuatorState, tuple]] = []
+        seen: set = set()
+        for i, state in enumerate(states):
+            key = state.key()
+            hit = self._cache.get(key)
+            if hit is not None:
+                obs.incr("estimator.cache_hits")
+                results[i] = hit
+            elif key not in seen:
+                seen.add(key)
+                misses.append((i, state, key))
+        if misses:
+            obs.incr("estimator.batch_calls")
+            obs.incr("estimator.batch_candidates", len(misses))
+            self._evaluate_misses(misses, results)
+        for i, state in enumerate(states):
+            if results[i] is None:  # in-batch duplicate of a miss
+                obs.incr("estimator.cache_hits")
+                results[i] = self._cache[state.key()]
+        return results
+
+    def _evaluate_misses(
+        self, misses: list, results: list
+    ) -> None:
+        system = self.system
+        nodes = system.nodes
+        n_miss = len(misses)
+        levels = np.stack([s.dvfs for _, s, _ in misses])
+        p_dyn_many = self.dyn_tracker.predict_many(levels)
+        ips_many = predict_ips_many(self.ips_predictor, levels)
+        base_pred = self._base_prediction()
+        t_comp_now = self._t_nodes_k[nodes.component_slice]
+        base = self._base_state
+        base_tec = base.tec
+        # DVFS-only candidates share the applied TEC vector *object*
+        # (ActuatorState.with_dvfs aliases it), which skips every
+        # per-candidate TEC comparison below.
+        tec_objs = [s.tec for _, s, _ in misses]
+        odd_tec = [
+            j for j, t in enumerate(tec_objs) if t is not base_tec
+        ]
+
+        # Which cores each candidate re-solves (its DVFS knob moved or a
+        # device on its tile did) — one vectorized pass over the batch
+        # instead of per-candidate ``_diff_cores`` scans.
+        diff = levels != np.asarray(base.dvfs)[None, :]
+        device_tile = system.tec.device_tile
+        for j in odd_tec:
+            changed = np.flatnonzero(
+                np.asarray(tec_objs[j]) != np.asarray(base_tec)
+            )
+            for dev in changed:
+                diff[j, int(device_tile[dev])] = True
+        pair_miss, pair_core = np.nonzero(diff)
+
+        # Every (candidate, core) re-solve shares its power-independent
+        # context with same-tile-TEC peers; all solves of one block size
+        # collapse into a single stacked LAPACK call (each (m, m) system
+        # back-substitutes independently, so rows stay bit-identical).
+        ctx_memo: dict = {}
+        buckets: dict = {}
+        for j, core in zip(pair_miss.tolist(), pair_core.tolist()):
+            mkey = (core, id(tec_objs[j]))
+            ctx = ctx_memo.get(mkey)
+            if ctx is None:
+                ctx = self._core_context(core, misses[j][1])
+                ctx_memo[mkey] = ctx
+            buckets.setdefault(ctx[0].shape[0], []).append((j, core, ctx))
+
+        p_all = p_dyn_many + self._p_leak[None, :]
+        preds = np.repeat(base_pred[None, :], n_miss, axis=0)
+        for pairs in buckets.values():
+            jj = np.array([j for j, _, _ in pairs])
+            # The stacked interval-invariant arrays are memoized on the
+            # (core, context) sequence: controller iterations re-screen
+            # overlapping candidate sets within one interval.
+            skey = tuple((core, id(ctx)) for _, core, ctx in pairs)
+            stacks = self._stack_cache.get(skey)
+            if stacks is None:
+                stacks = (
+                    np.stack(
+                        [self._blocks[core].comp_idx for _, core, _ in pairs]
+                    ),
+                    np.stack([ctx[0] for _, _, ctx in pairs]),
+                    np.stack([ctx[1] for _, _, ctx in pairs]),
+                    np.stack([ctx[2] for _, _, ctx in pairs]),
+                )
+                self._stack_cache[skey] = stacks
+            idx_stack, a_stack, b_stack, beta_stack = stacks
+            rhs = p_all[jj[:, None], idx_stack] + b_stack
+            t_steady = np.linalg.solve(a_stack, rhs[:, :, None])[..., 0]
+            q = _quantize(
+                (1.0 - beta_stack) * t_steady
+                + beta_stack * t_comp_now[idx_stack]
+            )
+            # One pair per (candidate, core): the scattered writes are
+            # disjoint component ranges.
+            preds[jj[:, None], idx_stack] = q
+            self.n_core_solves += len(pairs)
+            obs.incr("estimator.core_solves", len(pairs))
+
+        # Shared per-candidate tail: one field matrix, one TEC-power
+        # scatter per distinct activation vector, hoisted leakage sum.
+        t_rows = np.repeat(self._t_nodes_k[None, :], n_miss, axis=0)
+        t_rows[:, nodes.component_slice] = preds
+        t_comp_c = units.k_to_c(preds)
+        peaks = t_comp_c.max(axis=1)
+        # Contiguous copies keep the row-wise pairwise-summation order of
+        # the sequential per-candidate ``.sum()`` calls.
+        p_dyn_sums = np.ascontiguousarray(p_dyn_many).sum(axis=1)
+        ips_sums = np.ascontiguousarray(ips_many).sum(axis=1)
+        p_leak_sum = self._p_leak.sum()
+        p_tec_arr = np.empty(n_miss)
+        odd = set(odd_tec)
+        tec_groups: dict = {}
+        for j, t in enumerate(tec_objs):
+            gkey = np.asarray(t).tobytes() if j in odd else None
+            tec_groups.setdefault(gkey, []).append(j)
+        for members in tec_groups.values():
+            p_tec_arr[members] = system.tec_power_many(
+                np.asarray(tec_objs[members[0]]), t_rows[members]
+            )
+
+        self.n_evaluations += n_miss
+        obs.incr("estimator.evaluations", n_miss)
+        fan_pw: dict = {}
+        for j, (i, state, key) in enumerate(misses):
+            t_nodes = t_rows[j]
+            peak_c = float(peaks[j])
+            p_cores = float(p_dyn_sums[j] + p_leak_sum)
+            p_tec = float(p_tec_arr[j])
+            p_fan = fan_pw.get(state.fan_level)
+            if p_fan is None:
+                p_fan = system.fan.power_w(state.fan_level)
+                fan_pw[state.fan_level] = p_fan
+            p_chip = p_cores + p_tec + p_fan
+            ips = float(ips_sums[j])
+            est = Estimate(
+                state=state,
+                t_nodes_k=t_nodes,
+                peak_temp_c=peak_c,
+                p_chip_w=p_chip,
+                p_cores_w=p_cores,
+                p_tec_w=p_tec,
+                p_fan_w=p_fan,
+                ips_chip=ips,
+                epi=EnergyProblem.epi(p_chip, ips),
+            )
+            self._cache[key] = est
+            results[i] = est
 
     # ------------------------------------------------------------------
     def evaluate_fan_setting(

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro import units
 from repro.core.controller import Controller
-from repro.core.estimator import NextIntervalEstimator
+from repro.core.estimator import NextIntervalEstimator, predict_ips_many
 from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
 from repro.exceptions import ConfigurationError, ControlError
@@ -159,7 +159,6 @@ class ExhaustiveSearcher(Controller):
         nodes = system.nodes
         n_nodes = nodes.n_nodes
         comp = nodes.component_slice
-        tile_of = system.chip.tile_of()
 
         # Batched dynamic power: Eq. (7) ratios from the last measured
         # interval (same information TECfan gets).
@@ -168,20 +167,14 @@ class ExhaustiveSearcher(Controller):
             return state
         levels = self._dvfs_space  # (D, N)
         d_count = levels.shape[0]
-        ratio = system.dvfs.dynamic_ratio(
-            tracker._levels_prev[None, :], levels
-        )  # (D, N)
-        comp_ratio = ratio[:, tile_of]
-        if tracker.core_domain is not None:
-            comp_ratio = np.where(
-                tracker.core_domain[None, :], comp_ratio, 1.0
-            )
-        p_dyn = tracker._p_prev[None, :] * comp_ratio  # (D, ncomp)
+        p_dyn = tracker.predict_many(levels)  # (D, ncomp)
 
         t_meas_k = units.c_to_k(np.asarray(sensor_temps_c, dtype=float))
         leak0 = system.power.controller_leakage.per_component_w(t_meas_k)
 
-        ips = estimator.ips_predictor.predict_chip_batch(levels)  # (D,)
+        ips = predict_ips_many(
+            estimator.ips_predictor, levels
+        ).sum(axis=1)  # (D,)
         if self.perf_floor is not None:
             k = min(call, len(self.perf_floor) - 1)
             # Cap at what is achievable under the *current* demand — the

@@ -102,6 +102,24 @@ class CMPSystem:
             self.tec.electrical_power_w(state_tec, t_cold, t_hot).sum()
         )
 
+    def tec_power_many(
+        self, state_tec: np.ndarray, t_rows_k: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`tec_power_w` over ``(batch, n_nodes)`` field rows [W].
+
+        Entry ``b`` is bit-identical to ``tec_power_w(state_tec,
+        t_rows_k[b])``: the cold-side scatter keeps its 1-D accumulation
+        order per row and each row is pairwise-summed on its own.
+        """
+        t_cold = self.tec.cold_side_temperature_many(
+            t_rows_k[:, self.nodes.component_slice]
+        )
+        t_hot = t_rows_k[:, self.nodes.n_components + self.tec.device_tile]
+        p = self.tec.electrical_power_many(state_tec, t_cold, t_hot)
+        # The contiguous copy keeps each row's pairwise-summation order
+        # identical to the scalar call's 1-D ``.sum()``.
+        return np.ascontiguousarray(p).sum(axis=1)
+
 
 def build_system(
     rows: int = 4,

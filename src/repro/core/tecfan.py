@@ -98,6 +98,11 @@ class TECfanController(Controller):
     #: chip-level DVFS seamlessly"): every DVFS move shifts all cores
     #: together, as on parts without per-core regulators.
     chip_level_dvfs: bool = False
+    #: Evaluate DVFS candidate sets through the estimator's batched
+    #: ``evaluate_many`` (one multi-RHS solve per actuator setting)
+    #: instead of per-candidate ``evaluate`` calls. Decision-identical;
+    #: ``False`` forces the sequential path for A/B validation.
+    batched: bool = True
     #: Evaluation counters per phase, for the overhead benchmark.
     n_hot_iterations: int = 0
     n_cool_iterations: int = 0
@@ -114,6 +119,20 @@ class TECfanController(Controller):
             problem.t_threshold_c - self.guard_band_c - extra_margin_c
         )
 
+    def _evaluate_candidates(
+        self, estimator: NextIntervalEstimator, candidates: list
+    ) -> list:
+        """Estimates for ``candidates``, batched when the estimator can.
+
+        ``evaluate_many`` returns bit-identical estimates in candidate
+        order, so selection logic downstream is unchanged either way.
+        """
+        if self.batched:
+            batched = getattr(estimator, "evaluate_many", None)
+            if batched is not None:
+                return batched(candidates)
+        return [estimator.evaluate(c) for c in candidates]
+
     # ------------------------------------------------------------------
     def decide(
         self,
@@ -124,10 +143,14 @@ class TECfanController(Controller):
     ) -> ActuatorState:
         est = estimator.evaluate(state)
         if not problem.satisfied(est.peak_temp_c):
-            final = self._hot_iterations(state, estimator, problem)
+            final, final_est = self._hot_iterations(state, estimator, problem)
         else:
-            final = self._cool_iterations(state, est, estimator, problem)
-        estimator.commit(estimator.evaluate(final))
+            final, final_est = self._cool_iterations(
+                state, est, estimator, problem
+            )
+        # The iterations hand back the accepted candidate's own estimate,
+        # so committing needs no re-evaluation.
+        estimator.commit(final_est)
         return final
 
     # ------------------------------------------------------------------
@@ -138,7 +161,7 @@ class TECfanController(Controller):
         state: ActuatorState,
         estimator: NextIntervalEstimator,
         problem: EnergyProblem,
-    ) -> ActuatorState:
+    ) -> tuple[ActuatorState, Estimate]:
         system = estimator.system
         work = state
         for _ in range(self.max_iterations):
@@ -146,7 +169,7 @@ class TECfanController(Controller):
             obs.incr("controller.hot_iterations")
             est = estimator.evaluate(work)
             if self._ok(est, problem):
-                return work
+                return work, est
 
             moved = False
             stages = ("tec", "dvfs") if self.tec_first else ("dvfs", "tec")
@@ -165,15 +188,17 @@ class TECfanController(Controller):
                     candidates = self._dvfs_candidates(work, system, -1)
                     if candidates:
                         best = min(
-                            (estimator.evaluate(c) for c in candidates),
+                            self._evaluate_candidates(estimator, candidates),
                             key=lambda e: e.epi,
                         )
                         work = best.state
                         moved = True
                         break
             if not moved:
-                return work  # everything saturated; nothing more to do
-        return work
+                return work, est  # everything saturated; nothing more to do
+        # Iteration budget exhausted after a move: the last accepted
+        # candidate has not been evaluated yet (memo-cached if it has).
+        return work, estimator.evaluate(work)
 
     @staticmethod
     def _tec_over_hottest_violation(
@@ -204,7 +229,7 @@ class TECfanController(Controller):
         est: Estimate,
         estimator: NextIntervalEstimator,
         problem: EnergyProblem,
-    ) -> ActuatorState:
+    ) -> tuple[ActuatorState, Estimate]:
         system = estimator.system
         work, cur = state, est
         raises_accepted = 0
@@ -232,8 +257,8 @@ class TECfanController(Controller):
             if nxt is not None:
                 work, cur = nxt.state, nxt
                 continue
-            return work
-        return work
+            return work, cur
+        return work, cur
 
     def _dvfs_candidates(self, work, system, direction: int) -> list:
         """Single-step DVFS moves: per-core, or lock-stepped chip-wide.
@@ -266,8 +291,7 @@ class TECfanController(Controller):
         candidates = self._dvfs_candidates(work, system, +1)
         margin = self.coupling_penalty_c * raises_accepted
         best: Estimate | None = None
-        for cand in candidates:
-            e = estimator.evaluate(cand)
+        for e in self._evaluate_candidates(estimator, candidates):
             gains = e.ips_chip > cur.ips_chip * (1.0 + self.ips_gain_rel)
             if gains and self._ok(e, problem, margin):
                 if best is None or e.epi < best.epi:
@@ -279,8 +303,7 @@ class TECfanController(Controller):
     ) -> Estimate | None:
         candidates = self._dvfs_candidates(work, system, -1)
         best: Estimate | None = None
-        for cand in candidates:
-            e = estimator.evaluate(cand)
+        for e in self._evaluate_candidates(estimator, candidates):
             neutral = e.ips_chip >= cur.ips_chip * (1.0 - self.ips_loss_rel)
             saves = e.epi < cur.epi * (1.0 - self.epi_improvement_rel)
             if neutral and saves and self._ok(e, problem):

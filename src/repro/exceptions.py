@@ -45,3 +45,18 @@ class ControlError(ReproError):
 class ObservabilityError(ReproError):
     """The telemetry layer was misused (metric kind clash, bad buckets,
     unreadable telemetry stream)."""
+
+
+class ParallelExecutionError(ReproError):
+    """One or more tasks of a parallel fan-out failed in a worker.
+
+    Carries the failing task indices and their formatted tracebacks so
+    the driver can report every failure, not just the first.
+    """
+
+    def __init__(self, failures: list):
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} parallel task(s) failed:"]
+        for index, tb in self.failures:
+            lines.append(f"--- task {index} ---\n{tb}")
+        super().__init__("\n".join(lines))

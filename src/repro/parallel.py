@@ -1,0 +1,129 @@
+"""Process-parallel experiment fan-out.
+
+Sweeps and policy suites run many *independent* simulations — one per
+fan level, one per policy. Each simulation is CPU-bound in LAPACK/SuperLU
+calls that hold the GIL for only part of their time, so processes (not
+threads) are the right isolation, and the payloads the drivers ship
+(systems, workload runs, controllers) are plain dataclasses + numpy
+arrays that pickle cleanly. The one exception — SuperLU factorization
+objects — is handled by :class:`repro.thermal.steady_state.SteadyStateSolver`
+dropping its LU cache on pickling; workers refactorize lazily.
+
+Design rules:
+
+* **spawn** start method always: fork would duplicate whatever state the
+  parent process has accumulated (telemetry sessions, factorization
+  caches) and is unavailable on some platforms; spawn keeps workers
+  deterministic and identical everywhere.
+* Results come back **in payload order** regardless of completion order,
+  so parallel runs are drop-in replacements for serial loops.
+* Worker exceptions are captured as formatted tracebacks and re-raised
+  in the parent as one :class:`ParallelExecutionError` naming every
+  failing task — a custom exception type from a worker may itself fail
+  to unpickle, a traceback string never does.
+* ``jobs=None`` or ``jobs=1`` runs serially in-process (no pool, no
+  pickling) so the flag can be threaded through unconditionally.
+
+Telemetry note: worker processes see the module-level no-op telemetry
+hooks unless they install their own session; counters incremented inside
+workers do **not** aggregate into the parent's session.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.exceptions import ParallelExecutionError
+
+__all__ = ["ParallelExecutionError", "parallel_map", "resolve_jobs"]
+
+#: Environment override for the default worker count (CLI ``--jobs 0``
+#: and drivers called with ``jobs=0`` resolve through this, then the
+#: machine's CPU count).
+JOBS_ENV_VAR = "TECFAN_JOBS"
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value to an effective worker count.
+
+    ``None`` or ``1`` mean serial (returns 1). ``0`` means "auto": the
+    ``TECFAN_JOBS`` environment variable if set, else ``os.cpu_count()``.
+    Negative values are a configuration error.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ParallelExecutionError([(-1, f"invalid jobs value {jobs}")])
+    if jobs == 0:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env is not None and env.strip():
+            return max(1, int(env))
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _invoke(fn: Callable, index: int, payload) -> tuple:
+    """Worker-side wrapper: never lets an exception escape unpickled."""
+    try:
+        return (index, True, fn(payload))
+    except BaseException:
+        return (index, False, traceback.format_exc())
+
+
+def parallel_map(
+    fn: Callable,
+    payloads: Sequence,
+    jobs: int | None = None,
+) -> list:
+    """``[fn(p) for p in payloads]`` across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (spawn-picklable) function of one argument.
+    payloads:
+        Picklable task inputs; one worker call each.
+    jobs:
+        Worker count: ``None``/``1`` serial in-process, ``0`` auto
+        (``TECFAN_JOBS`` env var, else CPU count), ``N > 1`` that many
+        processes.
+
+    Returns
+    -------
+    Results in payload order.
+
+    Raises
+    ------
+    ParallelExecutionError
+        If any task raised; lists every failing index with its worker
+        traceback. Remaining tasks still run to completion first.
+    """
+    payloads = list(payloads)
+    n = resolve_jobs(jobs)
+    if n <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+
+    results: list = [None] * len(payloads)
+    failures: list = []
+    ctx = mp.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(n, len(payloads)), mp_context=ctx
+    ) as pool:
+        futures = [
+            pool.submit(_invoke, fn, i, p) for i, p in enumerate(payloads)
+        ]
+        for fut in futures:
+            index, ok, value = fut.result()
+            if ok:
+                results[index] = value
+            else:
+                failures.append((index, value))
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        raise ParallelExecutionError(failures)
+    return results

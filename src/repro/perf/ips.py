@@ -46,6 +46,23 @@ class IPSTracker:
         lv = np.asarray(dvfs_levels, dtype=int)
         return self._ips_prev * self.dvfs.frequency_ratio(self._levels_prev, lv)
 
+    def predict_many(self, dvfs_levels: np.ndarray) -> np.ndarray:
+        """Per-core IPS for a ``(batch, n_cores)`` level matrix.
+
+        Row ``b`` is bit-identical to ``predict(dvfs_levels[b])``.
+        """
+        if not self.ready:
+            raise ControlError("no previous interval observed yet")
+        lv = np.asarray(dvfs_levels, dtype=int)
+        if lv.ndim != 2:
+            raise ControlError(
+                f"predict_many expects a (batch, n_cores) level matrix, "
+                f"got shape {lv.shape}"
+            )
+        return self._ips_prev[None, :] * self.dvfs.frequency_ratio(
+            self._levels_prev[None, :], lv
+        )
+
     def predict_chip(self, dvfs_levels: np.ndarray) -> float:
         """Eq. (10): total chip IPS for a candidate level vector."""
         return float(self.predict(dvfs_levels).sum())

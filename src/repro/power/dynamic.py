@@ -63,6 +63,27 @@ class DynamicPowerTracker:
             comp_ratio = np.where(self.core_domain, comp_ratio, 1.0)
         return self._p_prev * comp_ratio
 
+    def predict_many(self, dvfs_levels: np.ndarray) -> np.ndarray:
+        """Per-component power for a ``(batch, n_cores)`` level matrix [W].
+
+        Row ``b`` is bit-identical to ``predict(dvfs_levels[b])`` — the
+        ratio table lookup broadcasts over the leading axis and every
+        per-element operation is unchanged.
+        """
+        if not self.ready:
+            raise ControlError("no previous interval observed yet")
+        lv = np.asarray(dvfs_levels, dtype=int)
+        if lv.ndim != 2:
+            raise ControlError(
+                f"predict_many expects a (batch, n_cores) level matrix, "
+                f"got shape {lv.shape}"
+            )
+        ratio = self.dvfs.dynamic_ratio(self._levels_prev[None, :], lv)
+        comp_ratio = ratio[:, self.tile_of]
+        if self.core_domain is not None:
+            comp_ratio = np.where(self.core_domain[None, :], comp_ratio, 1.0)
+        return self._p_prev[None, :] * comp_ratio
+
     def predict_single_change(self, core: int, new_level: int) -> np.ndarray:
         """Power if only ``core`` changes to ``new_level`` [W]."""
         if not self.ready:

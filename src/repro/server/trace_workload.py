@@ -224,10 +224,17 @@ class ServerIPSPredictor:
         cap = self.perf.capacity_ips(freqs, self.peak_ips)
         return np.minimum(self._demand, cap)
 
-    def predict_chip_batch(self, levels: np.ndarray) -> np.ndarray:
-        """Chip IPS for a (D, n_cores) batch of level vectors."""
+    def predict_many(self, dvfs_levels: np.ndarray) -> np.ndarray:
+        """Per-core IPS for a ``(batch, n_cores)`` level matrix.
+
+        Row ``b`` is bit-identical to ``predict(dvfs_levels[b])``.
+        """
         if self._demand is None:
             raise WorkloadError("no interval observed yet")
-        freqs = self.dvfs.frequency_ghz(np.asarray(levels, dtype=int))
+        freqs = self.dvfs.frequency_ghz(np.asarray(dvfs_levels, dtype=int))
         cap = self.perf.capacity_ips(freqs, self.peak_ips)
-        return np.minimum(self._demand[None, :], cap).sum(axis=1)
+        return np.minimum(self._demand[None, :], cap)
+
+    def predict_chip_batch(self, levels: np.ndarray) -> np.ndarray:
+        """Chip IPS for a (D, n_cores) batch of level vectors."""
+        return self.predict_many(levels).sum(axis=1)

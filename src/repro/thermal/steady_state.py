@@ -6,6 +6,14 @@ DVFS change only moves the power vector), so the common case is a cached
 triangular solve rather than a refactorization. TEC activations are
 quantized to 1/256 for the cache key — exact for on/off states and more
 than fine enough for the fan controller's fractional "average state".
+
+Candidate screening goes one step further: :meth:`SteadyStateSolver.solve_many`
+pushes a whole batch of power vectors through one multi-RHS triangular
+solve against the cached factorization. SuperLU back-substitutes each
+column independently, so every column is bit-identical to the
+corresponding single-RHS :meth:`~SteadyStateSolver.solve` — the batched
+controller path produces exactly the same decisions as the sequential
+one, just without B round trips through Python and the RHS assembly.
 """
 
 from __future__ import annotations
@@ -45,12 +53,43 @@ class SteadyStateSolver:
     model: ConductanceModel
     cache_size: int = 64
     _lu_cache: OrderedDict = field(default_factory=OrderedDict, repr=False)
-    #: Statistics: factorizations performed / solves served.
+    #: Statistics: factorizations performed / solves served / LRU drops.
     n_factorizations: int = 0
     n_solves: int = 0
+    n_evictions: int = 0
+    # Precomputed cache keys for the two overwhelmingly common activation
+    # vectors (all-off during DVFS rounds, all-on under full TEC assist):
+    # the fast path skips the round-and-tobytes quantization entirely.
+    _key_all_off: bytes = field(default=None, repr=False)
+    _key_all_on: bytes = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Pickling: SuperLU factorization objects cannot cross a process
+    # boundary (repro.parallel ships systems to worker processes); the
+    # cache is pure memoization, so workers simply refactorize on demand.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lu_cache"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, fan_level: int, tec_activation: np.ndarray) -> tuple:
+        t = np.asarray(tec_activation)
+        if self._key_all_off is None:
+            n = t.shape[0]
+            self._key_all_off = _tec_key(np.zeros(n))
+            self._key_all_on = _tec_key(np.ones(n))
+        if not t.any():
+            return (fan_level, self._key_all_off)
+        if np.all(t == 1.0):
+            return (fan_level, self._key_all_on)
+        return (fan_level, _tec_key(t))
 
     def _factorization(self, fan_level: int, tec_activation: np.ndarray):
-        key = (fan_level, _tec_key(tec_activation))
+        key = self._cache_key(fan_level, tec_activation)
         lu = self._lu_cache.get(key)
         if lu is None:
             g = self.model.matrix(fan_level, tec_activation)
@@ -65,6 +104,8 @@ class SteadyStateSolver:
             obs.incr("thermal.factorizations")
             if len(self._lu_cache) > self.cache_size:
                 self._lu_cache.popitem(last=False)
+                self.n_evictions += 1
+                obs.incr("thermal.lu_evictions")
         else:
             self._lu_cache.move_to_end(key)
         return lu
@@ -95,6 +136,50 @@ class SteadyStateSolver:
         if not np.all(np.isfinite(t)):
             raise ThermalModelError("non-finite steady-state temperatures")
         return t
+
+    def solve_many(
+        self,
+        p_components_w: np.ndarray,
+        fan_level: int,
+        tec_activation: np.ndarray,
+    ) -> np.ndarray:
+        """Batched steady states for one actuator setting, many powers.
+
+        Parameters
+        ----------
+        p_components_w:
+            ``(batch, n_components)`` per-die-component dissipation [W]:
+            one row per candidate power vector.
+        fan_level, tec_activation:
+            Shared actuator setting (the whole point: one factorization,
+            one multi-RHS back-substitution).
+
+        Returns
+        -------
+        ``(batch, n_nodes)`` temperatures [K]; row ``b`` is bit-identical
+        to ``solve(p_components_w[b], fan_level, tec_activation)``.
+        """
+        p = np.asarray(p_components_w, dtype=float)
+        if p.ndim != 2:
+            raise ThermalModelError(
+                f"solve_many expects a (batch, n_components) power matrix, "
+                f"got shape {p.shape}"
+            )
+        with obs.span("thermal.solve_many", hist_ms="thermal.solver_ms"):
+            lu = self._factorization(fan_level, tec_activation)
+            # The Joule + ambient pieces of the RHS are shared by every
+            # candidate; only the component power differs per column.
+            base = self.model.rhs(
+                np.zeros(p.shape[1]), fan_level, tec_activation
+            )
+            rhs = np.repeat(base[:, None], p.shape[0], axis=1)
+            rhs[self.model.nodes.component_slice, :] += p.T
+            self.n_solves += p.shape[0]
+            obs.incr("thermal.batch_solves")
+            t = lu.solve(rhs)
+        if not np.all(np.isfinite(t)):
+            raise ThermalModelError("non-finite steady-state temperatures")
+        return np.ascontiguousarray(t.T)
 
     def clear_cache(self) -> None:
         """Drop all cached factorizations."""

@@ -42,8 +42,7 @@ class PaperTransient:
         if dt_s <= 0:
             raise ThermalModelError(f"non-positive time step {dt_s}")
         delta = self.model.diag_delta(fan_level, tec_activation)
-        g = self.model._g0.copy()
-        diag = g.data[self.model._diag_pos] + delta
+        diag = self.model._g0.data[self.model._diag_pos] + delta
         c = self.model.nodes.capacities
         return np.exp(-dt_s * diag / c)
 

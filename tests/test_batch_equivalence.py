@@ -1,0 +1,224 @@
+"""Batched evaluation must be *bit-identical* to the sequential path.
+
+The batched candidate pipeline (``solve_many`` / ``predict_many`` /
+``evaluate_many``) exists purely as a performance optimization: SuperLU
+back-substitutes multi-RHS columns independently, LAPACK solves stacked
+dense systems independently, and the Eq. (7)/(11) ratio algebra is
+elementwise. These tests pin the resulting contract — equality to the
+last bit, not approximate agreement — so any future vectorization that
+reassociates floating-point arithmetic fails loudly instead of silently
+shifting controller decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, SimulationEngine
+from repro.core.estimator import NextIntervalEstimator, predict_ips_many
+from repro.core.local_estimator import LocalBandedEstimator
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import build_system
+from repro.core.tecfan import TECfanController
+from repro.perf import splash2_workload
+from repro.perf.ips import IPSTracker
+from repro.perf.splash2 import REF_FREQ_GHZ
+from repro.perf.workload import WorkloadRun
+from repro.power.dvfs import SCC_DVFS
+from repro.power.dynamic import DynamicPowerTracker
+from repro.server.trace_workload import ServerIPSPredictor
+
+ESTIMATE_SCALARS = (
+    "peak_temp_c",
+    "p_chip_w",
+    "p_cores_w",
+    "p_tec_w",
+    "p_fan_w",
+    "ips_chip",
+    "epi",
+)
+
+
+@pytest.fixture
+def system():
+    return build_system(rows=2, cols=2)
+
+
+def _primed_estimator(cls, system, seed=0):
+    est = cls(system=system, ips_predictor=IPSTracker(dvfs=system.dvfs))
+    rng = np.random.default_rng(seed)
+    state = ActuatorState.initial(
+        system.n_tec_devices, system.n_cores, system.dvfs.max_level, 2
+    )
+    # Anchor mid-table so one-level moves exist in both directions.
+    mid = system.dvfs.max_level // 2
+    state = state.with_dvfs_vector(np.full(system.n_cores, mid))
+    temps = 60.0 + 10.0 * rng.random(system.nodes.n_components)
+    p = 1.0 + rng.random(system.nodes.n_components)
+    ips = 1e9 * (1.0 + rng.random(system.n_cores))
+    est.begin_interval(temps, p, ips, state, 2e-3)
+    return est, state
+
+
+def _candidates(system, state):
+    cands = []
+    for core in range(system.n_cores):
+        cands.append(state.with_dvfs(core, int(state.dvfs[core]) + 1))
+        cands.append(state.with_dvfs(core, int(state.dvfs[core]) - 1))
+    for dev in range(min(4, system.n_tec_devices)):
+        cands.append(state.with_tec(dev, 1.0))
+    cands.append(state.with_fan(3))
+    cands.append(state)
+    cands.append(cands[0])  # in-batch duplicate
+    return cands
+
+
+# ----------------------------------------------------------------------
+# Layer primitives
+# ----------------------------------------------------------------------
+def test_solve_many_matches_solve_bitwise(system):
+    rng = np.random.default_rng(1)
+    p = 1.0 + rng.random((7, system.nodes.n_components))
+    tec = np.zeros(system.n_tec_devices)
+    tec[:3] = 1.0
+    batched = system.solver.solve_many(p, 2, tec)
+    for b in range(p.shape[0]):
+        single = system.solver.solve(p[b], 2, tec)
+        assert np.array_equal(batched[b], single)
+
+
+def test_solve_many_rejects_vector_input(system):
+    from repro.exceptions import ThermalModelError
+
+    with pytest.raises(ThermalModelError):
+        system.solver.solve_many(
+            np.ones(system.nodes.n_components), 1,
+            np.zeros(system.n_tec_devices),
+        )
+
+
+def test_dynamic_tracker_predict_many_bitwise(system):
+    rng = np.random.default_rng(2)
+    tracker = DynamicPowerTracker(
+        dvfs=system.dvfs, tile_of=system.chip.tile_of()
+    )
+    tracker.observe(
+        rng.random(system.nodes.n_components),
+        np.full(system.n_cores, 3),
+    )
+    levels = rng.integers(0, system.dvfs.max_level + 1,
+                          size=(9, system.n_cores))
+    batched = tracker.predict_many(levels)
+    for b in range(levels.shape[0]):
+        assert np.array_equal(batched[b], tracker.predict(levels[b]))
+
+
+def test_ips_tracker_predict_many_bitwise(system):
+    rng = np.random.default_rng(3)
+    tracker = IPSTracker(dvfs=system.dvfs)
+    tracker.observe(
+        1e9 * rng.random(system.n_cores), np.full(system.n_cores, 2)
+    )
+    levels = rng.integers(0, system.dvfs.max_level + 1,
+                          size=(9, system.n_cores))
+    batched = tracker.predict_many(levels)
+    for b in range(levels.shape[0]):
+        assert np.array_equal(batched[b], tracker.predict(levels[b]))
+
+
+def test_server_predictor_predict_many_bitwise():
+    rng = np.random.default_rng(4)
+    pred = ServerIPSPredictor(dvfs=SCC_DVFS, peak_ips=4e9)
+    pred.observe(3e9 * rng.random(4), np.full(4, 3))
+    levels = rng.integers(0, SCC_DVFS.max_level + 1, size=(9, 4))
+    batched = pred.predict_many(levels)
+    for b in range(levels.shape[0]):
+        assert np.array_equal(batched[b], pred.predict(levels[b]))
+    assert np.array_equal(
+        pred.predict_chip_batch(levels), batched.sum(axis=1)
+    )
+
+
+def test_predict_ips_many_falls_back_without_batched_method():
+    class Plain:
+        def observe(self, ips, dvfs_levels):
+            pass
+
+        def predict(self, dvfs_levels):
+            return np.asarray(dvfs_levels, dtype=float) * 2.0
+
+    levels = np.arange(12).reshape(4, 3)
+    out = predict_ips_many(Plain(), levels)
+    assert np.array_equal(out, levels * 2.0)
+
+
+# ----------------------------------------------------------------------
+# Estimators
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", [NextIntervalEstimator, LocalBandedEstimator])
+def test_evaluate_many_matches_evaluate_bitwise(system, cls):
+    est_batched, state = _primed_estimator(cls, system)
+    est_seq, _ = _primed_estimator(cls, system)
+    cands = _candidates(system, state)
+    batched = est_batched.evaluate_many(cands)
+    sequential = [est_seq.evaluate(c) for c in cands]
+    for b, s in zip(batched, sequential):
+        assert np.array_equal(b.t_nodes_k, s.t_nodes_k)
+        for name in ESTIMATE_SCALARS:
+            assert getattr(b, name) == getattr(s, name)
+    # Complexity accounting must agree too: the benchmark's O(NL + N^2 M)
+    # claim counts evaluations, not wall time.
+    assert est_batched.n_evaluations == est_seq.n_evaluations
+    if hasattr(est_batched, "n_core_solves"):
+        assert est_batched.n_core_solves == est_seq.n_core_solves
+
+
+@pytest.mark.parametrize("cls", [NextIntervalEstimator, LocalBandedEstimator])
+def test_evaluate_many_populates_memo_cache(system, cls):
+    est, state = _primed_estimator(cls, system)
+    cands = _candidates(system, state)
+    first = est.evaluate_many(cands)
+    n_after_batch = est.n_evaluations
+    # Every candidate is now memoized: further evaluation is free.
+    for cand, got in zip(cands, first):
+        assert est.evaluate(cand) is got
+    assert est.evaluate_many(cands) == first
+    assert est.n_evaluations == n_after_batch
+
+
+@pytest.mark.parametrize("cls", [NextIntervalEstimator, LocalBandedEstimator])
+def test_evaluate_many_requires_begin_interval(system, cls):
+    from repro.exceptions import ControlError
+
+    est = cls(system=system, ips_predictor=IPSTracker(dvfs=system.dvfs))
+    state = ActuatorState.initial(
+        system.n_tec_devices, system.n_cores, system.dvfs.max_level, 1
+    )
+    with pytest.raises(ControlError):
+        est.evaluate_many([state])
+
+
+# ----------------------------------------------------------------------
+# Whole-engine decision identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["banded", "full"])
+def test_engine_metrics_identical_batched_vs_sequential(kind):
+    def run(batched: bool):
+        system = build_system(rows=2, cols=2)
+        wl = splash2_workload("lu", 4, system.chip)
+        engine = SimulationEngine(
+            system,
+            EnergyProblem(t_threshold_c=70.0),
+            EngineConfig(max_time_s=0.05),
+        )
+        controller = TECfanController(batched=batched, estimator_kind=kind)
+        return engine.run(
+            WorkloadRun(wl, system.chip, REF_FREQ_GHZ), controller
+        )
+
+    res_b, res_s = run(True), run(False)
+    assert res_b.metrics == res_s.metrics
+    assert res_b.trace._rows == res_s.trace._rows
+    assert res_b.final_state.key() == res_s.final_state.key()

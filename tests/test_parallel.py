@@ -1,0 +1,152 @@
+"""The parallel fan-out must be a drop-in replacement for serial loops.
+
+Worker functions live at module level: the spawn start method pickles
+them by qualified name and re-imports this module in each child (the
+same constraint the library's own ``_fan_sweep_task`` obeys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_policy_suite
+from repro.core.baselines import FanOnlyController, FanTECController
+from repro.core.engine import EngineConfig, SimulationEngine, run_fan_sweep
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.system import build_system
+from repro.exceptions import ParallelExecutionError
+from repro.parallel import parallel_map, resolve_jobs
+from repro.perf import splash2_workload
+from repro.perf.splash2 import REF_FREQ_GHZ
+from repro.perf.workload import WorkloadRun
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd payload {x}")
+    return x
+
+
+# ----------------------------------------------------------------------
+# parallel_map semantics
+# ----------------------------------------------------------------------
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ParallelExecutionError):
+        resolve_jobs(-2)
+
+
+def test_resolve_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("TECFAN_JOBS", "5")
+    assert resolve_jobs(0) == 5
+    # Explicit counts beat the environment.
+    assert resolve_jobs(2) == 2
+
+
+def test_serial_path_runs_in_process():
+    calls = []
+
+    def local_fn(x):  # closures only work serially — by design
+        calls.append(x)
+        return -x
+
+    assert parallel_map(local_fn, [1, 2, 3], jobs=None) == [-1, -2, -3]
+    assert calls == [1, 2, 3]
+
+
+def test_parallel_results_ordered_and_equal_to_serial():
+    payloads = list(range(20))
+    serial = parallel_map(_square, payloads, jobs=1)
+    parallel = parallel_map(_square, payloads, jobs=4)
+    assert parallel == serial == [x * x for x in payloads]
+
+
+def test_single_payload_short_circuits():
+    # One task never pays pool start-up, whatever jobs says.
+    assert parallel_map(_square, [7], jobs=8) == [49]
+
+
+def test_worker_failure_surfaces_clean_exception():
+    with pytest.raises(ParallelExecutionError) as err:
+        parallel_map(_fail_on_odd, [0, 1, 2, 3], jobs=2)
+    failed = [index for index, _ in err.value.failures]
+    assert failed == [1, 3]
+    assert "odd payload 1" in str(err.value)
+    assert "odd payload 3" in str(err.value)
+
+
+def test_serial_failure_raises_original_exception():
+    with pytest.raises(ValueError):
+        parallel_map(_fail_on_odd, [0, 1], jobs=1)
+
+
+# ----------------------------------------------------------------------
+# Driver integration
+# ----------------------------------------------------------------------
+def _small_setup():
+    system = build_system(rows=2, cols=2)
+    wl = splash2_workload("lu", 4, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=70.0),
+        EngineConfig(max_time_s=0.02),
+    )
+    return system, wl, engine
+
+
+def test_fan_sweep_parallel_matches_serial():
+    system, wl, engine = _small_setup()
+
+    def make_run():
+        return WorkloadRun(wl, system.chip, REF_FREQ_GHZ)
+
+    chosen_s, sweep_s = run_fan_sweep(engine, make_run, FanTECController())
+    chosen_p, sweep_p = run_fan_sweep(
+        engine, make_run, FanTECController(), jobs=2
+    )
+    assert sweep_p == sweep_s
+    assert chosen_p.metrics == chosen_s.metrics
+
+
+def test_policy_suite_parallel_matches_serial():
+    system = build_system(rows=2, cols=2)
+    policies = [FanOnlyController(), FanTECController()]
+    base_s, out_s = run_policy_suite(
+        system, "lu", 4, policies=policies, jobs=None
+    )
+    base_p, out_p = run_policy_suite(
+        system, "lu", 4, policies=policies, jobs=2
+    )
+    assert list(out_p) == list(out_s)
+    for name in out_s:
+        assert out_p[name].chosen.metrics == out_s[name].chosen.metrics
+        assert out_p[name].sweep == out_s[name].sweep
+
+
+def test_solver_pickles_without_lu_cache():
+    import pickle
+
+    system, _, _ = _small_setup()
+    system.solver.solve(
+        np.ones(system.nodes.n_components), 1,
+        np.zeros(system.n_tec_devices),
+    )
+    assert len(system.solver._lu_cache) == 1
+    clone = pickle.loads(pickle.dumps(system.solver))
+    assert len(clone._lu_cache) == 0  # SuperLU objects cannot ship
+    state = ActuatorState.initial(
+        system.n_tec_devices, system.n_cores, system.dvfs.max_level, 1
+    )
+    p = np.ones(system.nodes.n_components)
+    a = system.solver.solve(p, state.fan_level, state.tec)
+    b = clone.solve(p, state.fan_level, state.tec)
+    assert np.array_equal(a, b)
