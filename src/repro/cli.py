@@ -125,13 +125,37 @@ def _cmd_profile(args) -> int:
         print("tecfan profile: --max-time-s must be > 0", file=sys.stderr)
         return 2
 
+    engine_kwargs = {}
+    if args.faults is not None:
+        import json
+
+        from repro.exceptions import FaultInjectionError
+        from repro.faults import FaultScheduler, HealthConfig, WatchdogConfig
+
+        try:
+            with open(args.faults) as fh:
+                spec = json.load(fh)
+            scheduler = FaultScheduler.from_spec(spec)
+        except (OSError, json.JSONDecodeError, FaultInjectionError) as exc:
+            print(
+                f"tecfan profile: bad fault script {args.faults}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        engine_kwargs = dict(
+            faults=scheduler,
+            watchdog=WatchdogConfig(),
+            health=HealthConfig(),
+            estimator_fallback=True,
+        )
+
     tel = get_telemetry()  # installed by main() for this subcommand
     system = build_system()
     workload = splash2_workload(args.workload, args.threads, system.chip)
     engine = SimulationEngine(
         system,
         EnergyProblem(t_threshold_c=args.threshold),
-        EngineConfig(max_time_s=args.max_time_s),
+        EngineConfig(max_time_s=args.max_time_s, **engine_kwargs),
     )
     run = WorkloadRun(workload, system.chip, ref_freq_ghz=2.0)
     result = engine.run(run, TECfanController())
@@ -170,6 +194,22 @@ def main(argv: list[str] | None = None) -> int:
         help="run independent simulations across N worker processes "
         "(0 = auto: TECFAN_JOBS env var, else the CPU count); results "
         "are identical to serial execution",
+    )
+    jobs_parent.add_argument(
+        "--job-timeout-s",
+        type=float,
+        metavar="S",
+        default=None,
+        help="kill any worker task still running after S seconds "
+        "(sets TECFAN_JOB_TIMEOUT_S for every fan-out in this command)",
+    )
+    jobs_parent.add_argument(
+        "--job-retries",
+        type=int,
+        metavar="K",
+        default=None,
+        help="retry a failed or timed-out worker task up to K times "
+        "(sets TECFAN_JOB_RETRIES for every fan-out in this command)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", parents=[common], help="Table I base scenario")
@@ -212,8 +252,27 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="render the profile of a saved JSONL stream instead of running",
     )
+    prof.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="JSON fault script (list of {kind, ...} dicts, see "
+        "docs/ROBUSTNESS.md) injected into the profiled run; enables "
+        "the thermal watchdog, health monitor and estimator fallback",
+    )
 
     args = parser.parse_args(argv)
+    # Resilience knobs travel by environment so every nested fan-out
+    # (policy suite -> fan sweep -> parallel_map) honors them without
+    # threading two extra parameters through each driver signature.
+    if getattr(args, "job_timeout_s", None) is not None:
+        import os
+
+        os.environ["TECFAN_JOB_TIMEOUT_S"] = str(args.job_timeout_s)
+    if getattr(args, "job_retries", None) is not None:
+        import os
+
+        os.environ["TECFAN_JOB_RETRIES"] = str(args.job_retries)
     dispatch = {
         "table1": _cmd_table1,
         "fig4": _cmd_fig4,

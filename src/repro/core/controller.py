@@ -65,5 +65,16 @@ class Controller(abc.ABC):
         """
         return state.fan_level
 
+    def set_actuator_health(self, health) -> None:
+        """Engine callback: latest actuator health view.
+
+        When the engine runs with health monitoring enabled
+        (:class:`repro.faults.HealthConfig`), it calls this every
+        interval with an :class:`repro.faults.ActuatorHealth` so
+        health-aware policies can mask dead actuators out of their
+        candidate sets. The default ignores it — baselines keep the
+        paper's ideal-actuator behaviour.
+        """
+
     def reset(self) -> None:
         """Clear any per-run internal state (between sweep runs)."""

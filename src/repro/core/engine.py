@@ -41,11 +41,26 @@ from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
 from repro.core.system import CMPSystem
 from repro.core.trace import TraceRecorder
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ThermalModelError
+from repro.faults.guard import (
+    ActuatorHealthMonitor,
+    HealthConfig,
+    SensorValidator,
+    ThermalWatchdog,
+    WatchdogConfig,
+    safe_state,
+)
+from repro.faults.scheduler import FaultScheduler
 from repro.obs import telemetry as obs
 from repro.perf.ips import IPSTracker
 from repro.perf.workload import WorkloadRun
 from repro.thermal.sensors import TemperatureSensorBank
+
+#: Failures the hardened engine treats as "the estimator broke", falling
+#: back to the last safe action: the package's own thermal-model errors
+#: (including :class:`~repro.exceptions.ConvergenceError`) and the dense
+#: / sparse singular-solve escapes (SuperLU raises ``RuntimeError``).
+ESTIMATOR_FAILURES = (ThermalModelError, np.linalg.LinAlgError, RuntimeError)
 
 
 @dataclass
@@ -64,6 +79,17 @@ class EngineConfig:
     #: two consecutive intervals agree" (Sec. IV-B).
     priming_intervals: int = 15
     sensors: TemperatureSensorBank | None = None
+    #: Fault script injected into the recorded run (the fault clock is
+    #: the recorded run's simulated time; priming stays fault-free so
+    #: every experiment starts from the healthy converged state).
+    faults: FaultScheduler | None = None
+    #: Thermal watchdog policy; None disables the watchdog entirely.
+    watchdog: WatchdogConfig | None = None
+    #: Actuator-health + sensor-validation policy; None disables both.
+    health: HealthConfig | None = None
+    #: Catch estimator/solver failures inside ``controller.decide`` and
+    #: hold the last safe action instead of crashing the run.
+    estimator_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.dt_lower_s <= 0 or self.fan_period_s <= 0:
@@ -72,6 +98,16 @@ class EngineConfig:
             raise ConfigurationError(
                 "fan period must be at least one lower-level interval"
             )
+
+    @property
+    def hardened(self) -> bool:
+        """Any robustness machinery enabled for this run?"""
+        return (
+            self.faults is not None
+            or self.watchdog is not None
+            or self.health is not None
+            or self.estimator_fallback
+        )
 
 
 @dataclass
@@ -89,12 +125,61 @@ class SimulationResult:
 
 
 @dataclass
+class _RunGuards:
+    """Per-run robustness state: built fresh for every recorded run."""
+
+    faults: FaultScheduler | None = None
+    watchdog: ThermalWatchdog | None = None
+    health: ActuatorHealthMonitor | None = None
+    sensor_validator: SensorValidator | None = None
+    fallback: bool = False
+    refuge: ActuatorState | None = None
+
+
+@dataclass
 class SimulationEngine:
     """Runs one workload under one policy on one system."""
 
     system: CMPSystem
     problem: EnergyProblem
     config: EngineConfig = field(default_factory=EngineConfig)
+
+    def _build_guards(self) -> _RunGuards | None:
+        """Fresh guard state machines for one recorded run, or None.
+
+        Returning None for unhardened configs keeps the classic loop
+        bit-identical: no extra arithmetic touches the plant or the
+        controller when nothing robustness-related is enabled.
+        """
+        cfg = self.config
+        if not cfg.hardened:
+            return None
+        system = self.system
+        if cfg.faults is not None:
+            cfg.faults.validate(system)
+            cfg.faults.reset()
+        return _RunGuards(
+            faults=cfg.faults,
+            watchdog=(
+                ThermalWatchdog(cfg.watchdog, self.problem.t_threshold_c)
+                if cfg.watchdog is not None
+                else None
+            ),
+            health=(
+                ActuatorHealthMonitor(
+                    cfg.health, system.n_tec_devices, system.n_cores
+                )
+                if cfg.health is not None
+                else None
+            ),
+            sensor_validator=(
+                SensorValidator(cfg.health)
+                if cfg.health is not None
+                else None
+            ),
+            fallback=cfg.estimator_fallback,
+            refuge=safe_state(system.n_tec_devices, system.n_cores),
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -184,6 +269,7 @@ class SimulationEngine:
                 estimator,
                 trace=trace,
                 max_intervals=None,
+                guards=self._build_guards(),
             )
 
         metrics = summarize(
@@ -213,12 +299,25 @@ class SimulationEngine:
         estimator: NextIntervalEstimator,
         trace: TraceRecorder | None,
         max_intervals: int | None,
+        guards: _RunGuards | None = None,
     ):
-        """Advance the plant + controller loop; optionally record."""
+        """Advance the plant + controller loop; optionally record.
+
+        ``guards`` carries the run's robustness machinery (fault
+        injection, watchdog, health monitor, sensor validation,
+        estimator fallback). When it is None — every unhardened run and
+        every priming pass — the loop takes exactly the classic code
+        path, so fault-capable engines remain bit-identical to the
+        original on healthy runs.
+        """
         system = self.system
         cfg = self.config
         profile = run.workload.component_profile
         dvfs = system.dvfs
+        faults = guards.faults if guards is not None else None
+        watchdog = guards.watchdog if guards is not None else None
+        health = guards.health if guards is not None else None
+        validator = guards.sensor_validator if guards is not None else None
         fan_accum_p = np.zeros(system.nodes.n_components)
         fan_accum_tec = np.zeros(system.n_tec_devices)
         fan_accum_n = 0
@@ -235,8 +334,23 @@ class SimulationEngine:
             dt = cfg.dt_lower_s
 
             with obs.span("engine.step"):
+                # ---- faults: commanded -> effective actuation -------------
+                # The plant runs on what the hardware actually does; the
+                # controller keeps seeing its own commands (the health
+                # monitor reconciles the two once a divergence persists).
+                if faults is not None:
+                    eff_dvfs = faults.apply_dvfs(time_s, state.dvfs)
+                    eff_fan = faults.apply_fan(
+                        time_s, state.fan_level, system.fan.n_levels
+                    )
+                    eff_tec = faults.apply_tec(time_s, state.tec)
+                else:
+                    eff_dvfs = state.dvfs
+                    eff_fan = state.fan_level
+                    eff_tec = state.tec
+
                 # ---- plant: power for this interval -----------------------
-                freqs = dvfs.frequency_ghz(state.dvfs)
+                freqs = dvfs.frequency_ghz(eff_dvfs)
                 # Fractional final interval: don't bill a full control period
                 # for the last few instructions (delay would otherwise be
                 # quantized to dt).
@@ -245,17 +359,17 @@ class SimulationEngine:
                     dt = max(t_done, 1e-6)
                 activity = run.activity_vector()
                 p_dyn = system.power.component_power.dynamic_power_w(
-                    activity, state.dvfs, profile
+                    activity, eff_dvfs, profile
                 )
-                tec_eff = self._effective_tec(state.tec, prev_tec, dt)
+                tec_pump = self._effective_tec(eff_tec, prev_tec, dt)
 
                 # ---- plant: thermal step ----------------------------------
                 comp = system.nodes.component_slice
                 t_steady, _ = system.plant_thermal.solve(
-                    p_dyn, state.fan_level, tec_eff, t_guess_k=t_nodes[comp]
+                    p_dyn, eff_fan, tec_pump, t_guess_k=t_nodes[comp]
                 )
                 t_nodes = system.transient.step(
-                    t_nodes, t_steady, dt, state.fan_level, tec_eff
+                    t_nodes, t_steady, dt, eff_fan, tec_pump
                 )
                 t_comp_c = system.component_temps_c(t_nodes)
                 p_leak = system.power.plant_leakage.per_component_w(
@@ -267,8 +381,8 @@ class SimulationEngine:
                 ips_cores = inst / dt
                 total_instructions += float(inst.sum())
                 p_cores = float(p_dyn.sum() + p_leak.sum())
-                p_tec = system.tec_power_w(tec_eff, t_nodes)
-                p_fan = system.fan.power_w(state.fan_level)
+                p_tec = system.tec_power_w(tec_pump, t_nodes)
+                p_fan = system.fan.power_w(eff_fan)
                 p_chip = p_cores + p_tec + p_fan
                 if trace is not None:
                     trace.append(
@@ -280,9 +394,9 @@ class SimulationEngine:
                         p_tec_w=p_tec,
                         p_fan_w=p_fan,
                         ips_chip=float(ips_cores.sum()),
-                        tec_on=state.tec_on_count,
-                        fan_level=state.fan_level,
-                        mean_dvfs_level=float(np.mean(state.dvfs)),
+                        tec_on=int(np.count_nonzero(eff_tec > 0.5)),
+                        fan_level=eff_fan,
+                        mean_dvfs_level=float(np.mean(eff_dvfs)),
                     )
 
                 # ---- controller: lower level ------------------------------
@@ -291,6 +405,14 @@ class SimulationEngine:
                     if cfg.sensors is not None
                     else t_comp_c
                 )
+                if faults is not None:
+                    readings = faults.apply_sensors(time_s, readings)
+                if validator is not None:
+                    # Plausibility reference: the observer state committed
+                    # last interval, *before* this interval's readings load.
+                    readings = validator.filter(
+                        readings, estimator.predicted_component_temps_c()
+                    )
                 estimator.begin_interval(
                     sensor_temps_c=readings,
                     p_dyn_measured_w=p_dyn,
@@ -298,31 +420,72 @@ class SimulationEngine:
                     state=state,
                     dt_s=dt,
                 )
-                prev_tec = state.tec.copy()
-                with obs.span("controller.decide"):
-                    new_state = controller.decide(
-                        state, readings, estimator, self.problem
-                    )
-                new_state = new_state.with_fan(state.fan_level)
+                prev_tec = eff_tec.copy()
+                tripped = (
+                    watchdog.feed(float(readings.max()))
+                    if watchdog is not None
+                    else False
+                )
+                if tripped:
+                    # Safe state overrides the policy: max cooling, min
+                    # heat. The estimator stays fed (begin_interval above)
+                    # so handing control back after recovery is seamless.
+                    new_state = guards.refuge
+                else:
+                    with obs.span("controller.decide"):
+                        try:
+                            new_state = controller.decide(
+                                state, readings, estimator, self.problem
+                            )
+                        except ESTIMATOR_FAILURES:
+                            if guards is None or not guards.fallback:
+                                raise
+                            obs.incr("controller.fallbacks")
+                            new_state = state
+                    new_state = new_state.with_fan(state.fan_level)
 
                 # ---- controller: higher level (fan) -----------------------
                 fan_accum_p += p_dyn + p_leak
-                fan_accum_tec += tec_eff
+                fan_accum_tec += tec_pump
                 run_avg_p += (p_dyn + p_leak) * dt
-                run_avg_tec += tec_eff * dt
+                run_avg_tec += tec_pump * dt
                 fan_accum_n += 1
                 time_s += dt
                 if cfg.dynamic_fan and fan_accum_n * dt >= cfg.fan_period_s:
-                    avg_p = fan_accum_p / fan_accum_n
-                    avg_tec = fan_accum_tec / fan_accum_n
-                    with obs.span("controller.decide_fan"):
-                        level = controller.decide_fan(
-                            new_state, avg_p, avg_tec, estimator, self.problem
-                        )
-                    new_state = new_state.with_fan(level)
+                    if not tripped:
+                        avg_p = fan_accum_p / fan_accum_n
+                        avg_tec = fan_accum_tec / fan_accum_n
+                        with obs.span("controller.decide_fan"):
+                            try:
+                                level = controller.decide_fan(
+                                    new_state,
+                                    avg_p,
+                                    avg_tec,
+                                    estimator,
+                                    self.problem,
+                                )
+                            except ESTIMATOR_FAILURES:
+                                if guards is None or not guards.fallback:
+                                    raise
+                                obs.incr("controller.fallbacks")
+                                level = new_state.fan_level
+                        new_state = new_state.with_fan(level)
                     fan_accum_p[:] = 0.0
                     fan_accum_tec[:] = 0.0
                     fan_accum_n = 0
+
+                # ---- health: divergence detection + reconciliation --------
+                if health is not None:
+                    health.observe(
+                        tec_cmd=state.tec,
+                        tec_eff=eff_tec,
+                        dvfs_cmd=state.dvfs,
+                        dvfs_eff=eff_dvfs,
+                        fan_cmd=state.fan_level,
+                        fan_eff=eff_fan,
+                    )
+                    new_state = health.reconcile(new_state)
+                    controller.set_actuator_health(health.health())
 
                 # ---- telemetry (observation only; gated so disabled runs
                 # pay one is-None check per interval) ----------------------

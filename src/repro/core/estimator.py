@@ -163,6 +163,20 @@ class NextIntervalEstimator:
         """Adopt an accepted candidate's field as the observer state."""
         self._t_nodes_k = estimate.t_nodes_k
 
+    def predicted_component_temps_c(self) -> np.ndarray | None:
+        """The observer's current component temperatures [degC].
+
+        After a :meth:`commit`, this is the model's prediction of what
+        the *next* interval's sensors should read — the reference the
+        engine's sensor validator checks raw readings against. ``None``
+        until the first interval.
+        """
+        if self._t_nodes_k is None:
+            return None
+        return units.k_to_c(
+            self._t_nodes_k[self.system.nodes.component_slice]
+        )
+
     # ------------------------------------------------------------------
     def evaluate(self, state: ActuatorState) -> Estimate:
         """Predict next-interval temperature and EPI for ``state``."""

@@ -210,6 +210,20 @@ class LocalBandedEstimator:
         self._ctx_cache.clear()
         self._stack_cache.clear()
 
+    def predicted_component_temps_c(self) -> np.ndarray | None:
+        """The observer's current component temperatures [degC].
+
+        Same contract as
+        :meth:`repro.core.estimator.NextIntervalEstimator.predicted_component_temps_c`;
+        the engine's sensor validator uses it as the plausibility
+        reference for raw readings. ``None`` until the first interval.
+        """
+        if self._t_nodes_k is None:
+            return None
+        return units.k_to_c(
+            self._t_nodes_k[self.system.nodes.component_slice]
+        )
+
     # ------------------------------------------------------------------
     def _core_context(self, core: int, state: ActuatorState):
         """Power-independent pieces of one core solve: ``(a, b_base, beta)``.

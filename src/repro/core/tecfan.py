@@ -106,10 +106,19 @@ class TECfanController(Controller):
     #: Evaluation counters per phase, for the overhead benchmark.
     n_hot_iterations: int = 0
     n_cool_iterations: int = 0
+    #: Latest actuator-health view pushed by the engine (None when the
+    #: run has no health monitoring). Masked actuators are excluded from
+    #: every candidate set so the heuristic degrades gracefully instead
+    #: of oscillating on knobs that no longer respond.
+    _health: object = field(default=None, repr=False)
+
+    def set_actuator_health(self, health) -> None:
+        self._health = health
 
     def reset(self) -> None:
         self.n_hot_iterations = 0
         self.n_cool_iterations = 0
+        self._health = None
 
     def _ok(
         self, est: Estimate, problem: EnergyProblem, extra_margin_c: float = 0.0
@@ -200,14 +209,19 @@ class TECfanController(Controller):
         # candidate has not been evaluated yet (memo-cached if it has).
         return work, estimator.evaluate(work)
 
-    @staticmethod
     def _tec_over_hottest_violation(
+        self,
         state: ActuatorState,
         est: Estimate,
         system,
         problem: EnergyProblem,
     ) -> int | None:
-        """Off-device covering the hottest violating component, if any."""
+        """Off-device covering the hottest violating component, if any.
+
+        Devices the health monitor has masked are skipped — commanding
+        a dead element on would only feed the estimator a fiction.
+        """
+        health = self._health
         t_comp_c = units.k_to_c(
             est.t_nodes_k[system.nodes.component_slice]
         )
@@ -216,6 +230,8 @@ class TECfanController(Controller):
             return None
         for ci in hot[np.argsort(t_comp_c[hot])[::-1]]:
             for dev in system.tec.devices_over_component(int(ci)):
+                if health is not None and not health.tec_ok[dev]:
+                    continue
                 if state.tec[dev] < 1.0:
                     return int(dev)
         return None
@@ -268,6 +284,7 @@ class TECfanController(Controller):
         "integrated with chip-level DVFS seamlessly" variant.
         """
         max_level = system.dvfs.max_level
+        health = self._health
         if self.chip_level_dvfs:
             new_levels = np.clip(work.dvfs + direction, 0, max_level)
             if np.array_equal(new_levels, work.dvfs):
@@ -278,11 +295,13 @@ class TECfanController(Controller):
                 work.with_dvfs(core, int(work.dvfs[core]) + 1)
                 for core in range(system.n_cores)
                 if work.dvfs[core] < max_level
+                and (health is None or health.dvfs_ok[core])
             ]
         return [
             work.with_dvfs(core, int(work.dvfs[core]) - 1)
             for core in range(system.n_cores)
             if work.dvfs[core] > 0
+            and (health is None or health.dvfs_ok[core])
         ]
 
     def _best_raise(
@@ -314,7 +333,10 @@ class TECfanController(Controller):
     def _tec_off_coolest(
         self, work, cur, estimator, problem, system
     ) -> Estimate | None:
-        on = np.flatnonzero(work.tec > 0.0)
+        if self._health is not None:
+            on = np.flatnonzero((work.tec > 0.0) & self._health.tec_ok)
+        else:
+            on = np.flatnonzero(work.tec > 0.0)
         if on.size == 0:
             return None
         t_comp_k = cur.t_nodes_k[system.nodes.component_slice]
@@ -337,6 +359,11 @@ class TECfanController(Controller):
         estimator: NextIntervalEstimator,
         problem: EnergyProblem,
     ) -> int:
+        if self._health is not None and not self._health.fan_ok:
+            # A fan that ignores commands makes the walk pointless (and
+            # the estimate misleading); hold and let the lower level and
+            # the watchdog carry the load.
+            return state.fan_level
         fan = estimator.system.fan
         level = state.fan_level
         peak = estimator.evaluate_fan_setting(

@@ -42,6 +42,11 @@ class ControlError(ReproError):
     """A controller was asked to operate on an inconsistent state."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault model or fault script is malformed (unknown kind, bad
+    actuator index, inverted time window, out-of-range parameter)."""
+
+
 class ObservabilityError(ReproError):
     """The telemetry layer was misused (metric kind clash, bad buckets,
     unreadable telemetry stream)."""

@@ -1,0 +1,53 @@
+"""Fault injection and graceful-degradation guards for the control stack.
+
+``repro.faults`` extends the reproduction beyond the paper's ideal-world
+evaluation (Sec. V-A): :mod:`~repro.faults.models` defines timed
+actuator and sensor fault models, :mod:`~repro.faults.scheduler` injects
+them deterministically into a :class:`~repro.core.engine.SimulationEngine`
+run, and :mod:`~repro.faults.guard` provides the hardening that keeps a
+degraded system inside its thermal envelope — thermal watchdog, actuator
+health masking, and model-based sensor validation. See
+``docs/ROBUSTNESS.md`` for the taxonomy and semantics.
+"""
+
+from repro.faults.guard import (
+    ActuatorHealth,
+    ActuatorHealthMonitor,
+    HealthConfig,
+    SensorValidator,
+    ThermalWatchdog,
+    WatchdogConfig,
+    safe_state,
+)
+from repro.faults.models import (
+    FAULT_KINDS,
+    DVFSStuckFault,
+    Fault,
+    FanDegradedFault,
+    FanStuckFault,
+    SensorDriftFault,
+    SensorDropoutFault,
+    SensorStuckFault,
+    TECStuckFault,
+)
+from repro.faults.scheduler import FaultScheduler
+
+__all__ = [
+    "FAULT_KINDS",
+    "ActuatorHealth",
+    "ActuatorHealthMonitor",
+    "DVFSStuckFault",
+    "Fault",
+    "FanDegradedFault",
+    "FanStuckFault",
+    "FaultScheduler",
+    "HealthConfig",
+    "SensorDriftFault",
+    "SensorDropoutFault",
+    "SensorStuckFault",
+    "SensorValidator",
+    "TECStuckFault",
+    "ThermalWatchdog",
+    "WatchdogConfig",
+    "safe_state",
+]

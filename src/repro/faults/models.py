@@ -1,0 +1,215 @@
+"""Fault model taxonomy: what can break, when, and how.
+
+The paper evaluates TECfan with ideal actuators and sensors (Sec. V-A).
+A deployed thermal controller meets none of those assumptions: TEC
+elements die (high-density thin-film arrays have per-element failure
+modes), fans seize or lose airflow, DVFS transitions silently fail at
+the voltage regulator, and sensors stick, drop out, or drift. Each
+dataclass here describes one such fault as a *timed transformation* of
+either the commanded-to-effective actuation path or the sensed-reading
+path; :class:`repro.faults.scheduler.FaultScheduler` applies them inside
+the simulation engine.
+
+All faults share a half-open activity window ``[t_start_s, t_end_s)``
+(``t_end_s=None`` means permanent). Parameters are validated eagerly so
+a malformed fault script fails at construction, not mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FaultInjectionError
+
+#: Sentinel for "latch whatever value is observed at fault onset".
+LATCH = None
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: an activity window on the simulated-run clock."""
+
+    t_start_s: float = 0.0
+    t_end_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.t_start_s < 0.0:
+            raise FaultInjectionError(
+                f"fault start time {self.t_start_s} must be >= 0"
+            )
+        if self.t_end_s is not None and self.t_end_s <= self.t_start_s:
+            raise FaultInjectionError(
+                f"fault window [{self.t_start_s}, {self.t_end_s}) is empty"
+            )
+
+    def active(self, t_s: float) -> bool:
+        """Is the fault present at simulated time ``t_s``?"""
+        return t_s >= self.t_start_s and (
+            self.t_end_s is None or t_s < self.t_end_s
+        )
+
+
+# ----------------------------------------------------------------------
+# Actuator faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TECStuckFault(Fault):
+    """One TEC device ignores commands: stuck fully off or fully on.
+
+    ``stuck_off`` models a dead element (open drive transistor, cracked
+    film): the device still sits in the heat path as a passive slab but
+    pumps nothing. ``stuck_on`` models a shorted driver: full drive and
+    full Joule dissipation regardless of command.
+    """
+
+    device: int = 0
+    mode: str = "stuck_off"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.device < 0:
+            raise FaultInjectionError(f"invalid TEC device {self.device}")
+        if self.mode not in ("stuck_off", "stuck_on"):
+            raise FaultInjectionError(f"unknown TEC fault mode {self.mode!r}")
+
+    @property
+    def stuck_value(self) -> float:
+        """Effective activation forced while active."""
+        return 0.0 if self.mode == "stuck_off" else 1.0
+
+
+@dataclass(frozen=True)
+class FanStuckFault(Fault):
+    """The fan ignores speed commands and spins at one fixed level.
+
+    ``level=None`` latches whatever level was commanded at fault onset
+    (a seized PWM input); an explicit ``level`` pins the fan there (a
+    failed tach loop defaulting to a fallback speed).
+    """
+
+    level: int | None = LATCH
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.level is not None and self.level < 1:
+            raise FaultInjectionError(f"invalid fan level {self.level}")
+
+
+@dataclass(frozen=True)
+class FanDegradedFault(Fault):
+    """Partial airflow loss: dust, a failing bearing, a blocked duct.
+
+    The effective speed is ``levels_lost`` steps slower than commanded
+    (clipped to the slowest level) — the discrete-level equivalent of a
+    proportional airflow derating, so the fault stays inside the
+    calibrated fan table instead of inventing new operating points.
+    """
+
+    levels_lost: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.levels_lost < 1:
+            raise FaultInjectionError(
+                f"levels_lost must be >= 1, got {self.levels_lost}"
+            )
+
+
+@dataclass(frozen=True)
+class DVFSStuckFault(Fault):
+    """DVFS transitions silently fail; the core stays at its onset level.
+
+    ``core=None`` freezes every core (a dead power-management unit);
+    otherwise only the given core's regulator is stuck. The controller
+    still *believes* its commands took effect — detecting the
+    commanded-vs-effective divergence is the health monitor's job.
+    """
+
+    core: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.core is not None and self.core < 0:
+            raise FaultInjectionError(f"invalid core index {self.core}")
+
+
+# ----------------------------------------------------------------------
+# Sensor faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SensorStuckFault(Fault):
+    """One component's sensor reports a frozen value.
+
+    ``value_c=None`` latches the reading at fault onset (a stuck ADC);
+    an explicit ``value_c`` pins the output (a shorted sense line).
+    """
+
+    component: int = 0
+    value_c: float | None = LATCH
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.component < 0:
+            raise FaultInjectionError(
+                f"invalid component index {self.component}"
+            )
+
+
+@dataclass(frozen=True)
+class SensorDropoutFault(Fault):
+    """Intermittent sensor loss: the reading collapses to a rail value.
+
+    Each interval inside the window the reading is replaced by
+    ``floor_c`` with probability ``p_drop`` (drawn from the scheduler's
+    seeded RNG, so runs are reproducible). ``p_drop=1`` is a hard
+    dropout.
+    """
+
+    component: int = 0
+    p_drop: float = 1.0
+    floor_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.component < 0:
+            raise FaultInjectionError(
+                f"invalid component index {self.component}"
+            )
+        if not 0.0 < self.p_drop <= 1.0:
+            raise FaultInjectionError(
+                f"dropout probability {self.p_drop} outside (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class SensorDriftFault(Fault):
+    """Slow calibration drift: an additive ramp on one sensor.
+
+    The reading gains ``drift_c_per_s * (t - t_start_s)`` degrees —
+    positive drift makes the controller overcool, negative drift walks
+    it blind toward the thermal limit.
+    """
+
+    component: int = 0
+    drift_c_per_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.component < 0:
+            raise FaultInjectionError(
+                f"invalid component index {self.component}"
+            )
+        if self.drift_c_per_s == 0.0:
+            raise FaultInjectionError("drift rate must be non-zero")
+
+
+#: Spec-name -> class map used by :meth:`FaultScheduler.from_spec`.
+FAULT_KINDS: dict = {
+    "tec_stuck": TECStuckFault,
+    "fan_stuck": FanStuckFault,
+    "fan_degraded": FanDegradedFault,
+    "dvfs_stuck": DVFSStuckFault,
+    "sensor_stuck": SensorStuckFault,
+    "sensor_dropout": SensorDropoutFault,
+    "sensor_drift": SensorDriftFault,
+}

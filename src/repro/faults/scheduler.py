@@ -1,0 +1,244 @@
+"""Deterministic, seedable injection of timed faults into a run.
+
+The :class:`FaultScheduler` owns a fault script — a list of
+:mod:`repro.faults.models` instances — and transforms the engine's
+commanded actuation and sensed readings interval by interval:
+
+* ``apply_tec`` / ``apply_fan`` / ``apply_dvfs`` map *commanded*
+  settings to *effective* ones (what the hardware actually does);
+* ``apply_sensors`` corrupts the sensor bank's readings on the way to
+  the controller.
+
+Determinism contract: given the same script, seed, and call sequence,
+every transformation is reproducible — latched values are captured at
+fault onset, and the only randomness (sensor dropout) draws from one
+seeded generator. :meth:`reset` restores the scheduler to its pristine
+state so repeated runs of the same engine are identical; the engine
+calls it at the start of every recorded run.
+
+Every fault's first activation increments the ``faults.injected``
+counter, so degraded runs are observable in any telemetry stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.faults.models import (
+    FAULT_KINDS,
+    DVFSStuckFault,
+    Fault,
+    FanDegradedFault,
+    FanStuckFault,
+    SensorDriftFault,
+    SensorDropoutFault,
+    SensorStuckFault,
+    TECStuckFault,
+)
+from repro.obs import telemetry as obs
+
+
+@dataclass
+class FaultScheduler:
+    """A fault script plus the run-time state needed to apply it.
+
+    Parameters
+    ----------
+    faults:
+        The script; extend with :meth:`add` or build from dicts with
+        :meth:`from_spec`.
+    seed:
+        Seed of the dropout RNG; reproducible across :meth:`reset`.
+    """
+
+    faults: list = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            self._check(f)
+        self.reset()
+
+    @staticmethod
+    def _check(fault) -> None:
+        if not isinstance(fault, Fault):
+            raise FaultInjectionError(
+                f"not a fault model: {fault!r} (build instances from "
+                "repro.faults.models or use FaultScheduler.from_spec)"
+            )
+
+    # ------------------------------------------------------------------
+    def add(self, *faults) -> "FaultScheduler":
+        """Append faults to the script (chainable)."""
+        for f in faults:
+            self._check(f)
+            self.faults.append(f)
+        return self
+
+    @classmethod
+    def from_spec(cls, spec: list, seed: int = 0) -> "FaultScheduler":
+        """Build a scheduler from a list of dicts (JSON fault script).
+
+        Each entry needs a ``kind`` key naming one of
+        :data:`repro.faults.models.FAULT_KINDS`; remaining keys are the
+        model's constructor arguments.
+        """
+        if not isinstance(spec, (list, tuple)):
+            raise FaultInjectionError(
+                f"fault script must be a list of dicts, got {type(spec).__name__}"
+            )
+        faults = []
+        for entry in spec:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise FaultInjectionError(
+                    f"fault script entry {entry!r} needs a 'kind' key"
+                )
+            kind = entry["kind"]
+            fault_cls = FAULT_KINDS.get(kind)
+            if fault_cls is None:
+                raise FaultInjectionError(
+                    f"unknown fault kind {kind!r}; known: "
+                    f"{sorted(FAULT_KINDS)}"
+                )
+            kwargs = {k: v for k, v in entry.items() if k != "kind"}
+            try:
+                faults.append(fault_cls(**kwargs))
+            except TypeError as exc:
+                raise FaultInjectionError(
+                    f"bad parameters for fault kind {kind!r}: {exc}"
+                ) from exc
+        return cls(faults=faults, seed=seed)
+
+    def reset(self) -> None:
+        """Forget latched values and announcements; reseed the RNG."""
+        self._rng = np.random.default_rng(self.seed)
+        self._latched: dict = {}
+        self._announced: set = set()
+
+    # ------------------------------------------------------------------
+    def validate(self, system) -> None:
+        """Check every fault's indices against a concrete system."""
+        n_dev = system.n_tec_devices
+        n_cores = system.n_cores
+        n_comp = system.nodes.n_components
+        n_fan = system.fan.n_levels
+        for f in self.faults:
+            if isinstance(f, TECStuckFault) and f.device >= n_dev:
+                raise FaultInjectionError(
+                    f"TEC device {f.device} outside 0..{n_dev - 1}"
+                )
+            if isinstance(f, DVFSStuckFault) and (
+                f.core is not None and f.core >= n_cores
+            ):
+                raise FaultInjectionError(
+                    f"core {f.core} outside 0..{n_cores - 1}"
+                )
+            if isinstance(f, FanStuckFault) and (
+                f.level is not None and f.level > n_fan
+            ):
+                raise FaultInjectionError(
+                    f"fan level {f.level} outside 1..{n_fan}"
+                )
+            if isinstance(
+                f, (SensorStuckFault, SensorDropoutFault, SensorDriftFault)
+            ) and f.component >= n_comp:
+                raise FaultInjectionError(
+                    f"component {f.component} outside 0..{n_comp - 1}"
+                )
+
+    # ------------------------------------------------------------------
+    def _announce(self, index: int) -> None:
+        if index not in self._announced:
+            self._announced.add(index)
+            obs.incr("faults.injected")
+
+    def _active(self, t_s: float, kinds) -> list:
+        out = []
+        for i, f in enumerate(self.faults):
+            if isinstance(f, kinds) and f.active(t_s):
+                self._announce(i)
+                out.append((i, f))
+        return out
+
+    def any_active(self, t_s: float) -> bool:
+        """Is any scripted fault active at ``t_s``?"""
+        return any(f.active(t_s) for f in self.faults)
+
+    # ------------------------------------------------------------------
+    # Actuation transformations (commanded -> effective)
+    # ------------------------------------------------------------------
+    def apply_tec(self, t_s: float, commanded: np.ndarray) -> np.ndarray:
+        """Effective TEC activations under the active TEC faults."""
+        active = self._active(t_s, TECStuckFault)
+        if not active:
+            return commanded
+        out = np.asarray(commanded, dtype=float).copy()
+        for _, f in active:
+            out[f.device] = f.stuck_value
+        return out
+
+    def apply_fan(
+        self, t_s: float, commanded: int, n_levels: int
+    ) -> int:
+        """Effective fan level under the active fan faults."""
+        level = int(commanded)
+        for i, f in self._active(t_s, (FanStuckFault, FanDegradedFault)):
+            if isinstance(f, FanStuckFault):
+                if f.level is not None:
+                    level = min(f.level, n_levels)
+                else:
+                    # Latch the level commanded at onset.
+                    latched = self._latched.setdefault(i, int(commanded))
+                    level = latched
+            else:
+                level = min(level + f.levels_lost, n_levels)
+        return level
+
+    def apply_dvfs(self, t_s: float, commanded: np.ndarray) -> np.ndarray:
+        """Effective DVFS levels under the active DVFS faults."""
+        active = self._active(t_s, DVFSStuckFault)
+        if not active:
+            return commanded
+        out = np.asarray(commanded, dtype=int).copy()
+        for i, f in active:
+            if f.core is None:
+                latched = self._latched.setdefault(
+                    i, np.asarray(commanded, dtype=int).copy()
+                )
+                out[:] = latched
+            else:
+                latched = self._latched.setdefault(
+                    i, int(commanded[f.core])
+                )
+                out[f.core] = latched
+        return out
+
+    # ------------------------------------------------------------------
+    # Sensing transformation
+    # ------------------------------------------------------------------
+    def apply_sensors(self, t_s: float, readings: np.ndarray) -> np.ndarray:
+        """Corrupted sensor readings under the active sensor faults."""
+        active = self._active(
+            t_s, (SensorStuckFault, SensorDropoutFault, SensorDriftFault)
+        )
+        if not active:
+            return readings
+        out = np.asarray(readings, dtype=float).copy()
+        for i, f in active:
+            if isinstance(f, SensorStuckFault):
+                if f.value_c is not None:
+                    out[f.component] = f.value_c
+                else:
+                    latched = self._latched.setdefault(
+                        i, float(readings[f.component])
+                    )
+                    out[f.component] = latched
+            elif isinstance(f, SensorDropoutFault):
+                if f.p_drop >= 1.0 or self._rng.random() < f.p_drop:
+                    out[f.component] = f.floor_c
+            else:  # SensorDriftFault
+                out[f.component] += f.drift_c_per_s * (t_s - f.t_start_s)
+        return out

@@ -23,6 +23,14 @@ Design rules:
   to unpickle, a traceback string never does.
 * ``jobs=None`` or ``jobs=1`` runs serially in-process (no pool, no
   pickling) so the flag can be threaded through unconditionally.
+* Resilience is **opt-in** and orthogonal: ``timeout_s`` kills attempts
+  that hang (a worker stuck in a native solve cannot be cancelled any
+  other way), ``retries`` re-runs failed/timed-out attempts with
+  exponential backoff, and ``on_error="collect"`` returns
+  :class:`TaskFailure` placeholders instead of raising so a 100-run
+  sweep survives one bad point. With none of these engaged the classic
+  pool fast path runs unchanged. ``parallel.retries`` and
+  ``parallel.timeouts`` counters make degraded sweeps observable.
 
 Telemetry note: worker processes see the module-level no-op telemetry
 hooks unless they install their own session; counters incremented inside
@@ -32,19 +40,73 @@ workers do **not** aggregate into the parent's session.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection
 import os
+import time
 import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.exceptions import ParallelExecutionError
+from repro.obs import telemetry as obs
 
-__all__ = ["ParallelExecutionError", "parallel_map", "resolve_jobs"]
+__all__ = [
+    "ParallelExecutionError",
+    "TaskFailure",
+    "parallel_map",
+    "resolve_jobs",
+]
 
 #: Environment override for the default worker count (CLI ``--jobs 0``
 #: and drivers called with ``jobs=0`` resolve through this, then the
 #: machine's CPU count).
 JOBS_ENV_VAR = "TECFAN_JOBS"
+
+#: Environment defaults for the resilience knobs, so deep drivers that
+#: only thread ``jobs`` through still honor a sweep-wide policy (the CLI
+#: ``--job-timeout-s`` / ``--job-retries`` flags set these).
+TIMEOUT_ENV_VAR = "TECFAN_JOB_TIMEOUT_S"
+RETRIES_ENV_VAR = "TECFAN_JOB_RETRIES"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Terminal failure of one task under ``on_error="collect"``.
+
+    Placed at the task's index in the result list so callers can keep
+    the surviving results and report the rest. ``kind`` is ``"error"``
+    (the task raised), ``"timeout"`` (every attempt exceeded the
+    deadline) or ``"died"`` (the worker process vanished mid-task).
+    """
+
+    index: int
+    kind: str
+    detail: str
+    attempts: int
+
+    def __bool__(self) -> bool:  # `.filter`-style truthiness: failed
+        return False
+
+
+def _resolve_timeout(timeout_s: float | None) -> float | None:
+    if timeout_s is not None:
+        return float(timeout_s)
+    env = os.environ.get(TIMEOUT_ENV_VAR)
+    if env is not None and env.strip():
+        value = float(env)
+        return value if value > 0 else None
+    return None
+
+
+def _resolve_retries(retries: int | None) -> int:
+    if retries is not None:
+        return max(0, int(retries))
+    env = os.environ.get(RETRIES_ENV_VAR)
+    if env is not None and env.strip():
+        return max(0, int(env))
+    return 0
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -79,6 +141,11 @@ def parallel_map(
     fn: Callable,
     payloads: Sequence,
     jobs: int | None = None,
+    *,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    backoff_s: float = 0.1,
+    on_error: str = "raise",
 ) -> list:
     """``[fn(p) for p in payloads]`` across worker processes.
 
@@ -92,6 +159,25 @@ def parallel_map(
         Worker count: ``None``/``1`` serial in-process, ``0`` auto
         (``TECFAN_JOBS`` env var, else CPU count), ``N > 1`` that many
         processes.
+    timeout_s:
+        Per-attempt wall-clock deadline; an attempt still running at the
+        deadline is killed (``parallel.timeouts`` counter) and counts as
+        a failed attempt. ``None`` defers to ``TECFAN_JOB_TIMEOUT_S``
+        (unset or <= 0 means no deadline). Serial runs cannot be
+        interrupted, so the deadline only applies with ``jobs > 1``.
+    retries:
+        Extra attempts per task after the first fails or times out, with
+        exponential backoff (``backoff_s * 2**attempt``); each re-launch
+        increments ``parallel.retries``. ``None`` defers to
+        ``TECFAN_JOB_RETRIES`` (default 0).
+    backoff_s:
+        Base delay before a retry attempt [s].
+    on_error:
+        ``"raise"`` (default): raise :class:`ParallelExecutionError`
+        naming every task that exhausted its attempts, after all other
+        tasks finish. ``"collect"``: never raise; terminally-failed
+        tasks yield a :class:`TaskFailure` (falsy) at their index so the
+        surviving results are usable.
 
     Returns
     -------
@@ -100,14 +186,71 @@ def parallel_map(
     Raises
     ------
     ParallelExecutionError
-        If any task raised; lists every failing index with its worker
-        traceback. Remaining tasks still run to completion first.
+        If any task exhausted its attempts and ``on_error="raise"``.
     """
+    if on_error not in ("raise", "collect"):
+        raise ParallelExecutionError(
+            [(-1, f"invalid on_error value {on_error!r}")]
+        )
     payloads = list(payloads)
     n = resolve_jobs(jobs)
-    if n <= 1 or len(payloads) <= 1:
-        return [fn(p) for p in payloads]
+    timeout_s = _resolve_timeout(timeout_s)
+    retries = _resolve_retries(retries)
 
+    if n <= 1 or len(payloads) <= 1:
+        return _serial_map(fn, payloads, retries, backoff_s, on_error)
+
+    if timeout_s is None and retries == 0 and on_error == "raise":
+        # Classic fast path: one long-lived pool, no per-task process.
+        return _pool_map(fn, payloads, n)
+    return _resilient_map(
+        fn, payloads, n, timeout_s, retries, backoff_s, on_error
+    )
+
+
+def _serial_map(
+    fn: Callable,
+    payloads: list,
+    retries: int,
+    backoff_s: float,
+    on_error: str,
+) -> list:
+    """In-process execution: retries apply, deadlines cannot."""
+    results: list = []
+    failures: list = []
+    for i, p in enumerate(payloads):
+        for attempt in range(retries + 1):
+            try:
+                results.append(fn(p))
+                break
+            except Exception:
+                if attempt < retries:
+                    obs.incr("parallel.retries")
+                    time.sleep(backoff_s * (2.0**attempt))
+                    continue
+                if on_error == "raise" and retries == 0:
+                    raise  # classic serial contract: original exception
+                detail = traceback.format_exc()
+                if on_error == "raise":
+                    failures.append((i, detail))
+                    results.append(None)
+                else:
+                    results.append(
+                        TaskFailure(
+                            index=i,
+                            kind="error",
+                            detail=detail,
+                            attempts=retries + 1,
+                        )
+                    )
+                break
+    if failures:
+        raise ParallelExecutionError(failures)
+    return results
+
+
+def _pool_map(fn: Callable, payloads: list, n: int) -> list:
+    """The zero-resilience fast path (original pool semantics)."""
     results: list = [None] * len(payloads)
     failures: list = []
     ctx = mp.get_context("spawn")
@@ -123,6 +266,168 @@ def parallel_map(
                 results[index] = value
             else:
                 failures.append((index, value))
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        raise ParallelExecutionError(failures)
+    return results
+
+
+def _pipe_invoke(conn, fn: Callable, payload) -> None:
+    """Resilient-path worker body: report through the pipe, then exit."""
+    try:
+        result = (True, fn(payload))
+    except BaseException:
+        result = (False, traceback.format_exc())
+    try:
+        conn.send(result)
+    except BaseException:
+        pass  # parent killed us or result unpicklable; exit code tells
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """One in-flight worker attempt of the resilient path."""
+
+    index: int
+    attempt: int
+    proc: mp.process.BaseProcess
+    conn: mp.connection.Connection
+    deadline: float | None
+
+
+def _resilient_map(
+    fn: Callable,
+    payloads: list,
+    n: int,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+    on_error: str,
+) -> list:
+    """Per-task processes with deadline kill, retry, partial results.
+
+    A hung worker cannot be cancelled through ``ProcessPoolExecutor``
+    (it only abandons queued futures), so every attempt gets its own
+    spawn process the parent can ``kill()`` at the deadline. Start-up
+    costs one interpreter per attempt — acceptable for simulation tasks
+    that run seconds each, which is what this path exists for.
+    """
+    ctx = mp.get_context("spawn")
+    results: list = [None] * len(payloads)
+    failures: list[tuple[int, str]] = []
+    # (index, attempt, not_before) — FIFO except for backoff holds.
+    queue: deque = deque(
+        (i, 0, 0.0) for i in range(len(payloads))
+    )
+    active: list[_Attempt] = []
+
+    def settle(index: int, attempt: int, kind: str, detail: str) -> None:
+        """A failed attempt: schedule a retry or record the failure."""
+        if attempt < retries:
+            obs.incr("parallel.retries")
+            not_before = time.monotonic() + backoff_s * (2.0**attempt)
+            queue.append((index, attempt + 1, not_before))
+            return
+        if on_error == "collect":
+            results[index] = TaskFailure(
+                index=index,
+                kind=kind,
+                detail=detail,
+                attempts=attempt + 1,
+            )
+        else:
+            failures.append((index, f"[{kind}] {detail}"))
+
+    try:
+        while queue or active:
+            # Launch while there is capacity and a ready task.
+            now = time.monotonic()
+            held = []
+            while queue and len(active) < n:
+                index, attempt, not_before = queue.popleft()
+                if not_before > now:
+                    held.append((index, attempt, not_before))
+                    continue
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_pipe_invoke,
+                    args=(child_conn, fn, payloads[index]),
+                )
+                proc.start()
+                child_conn.close()
+                active.append(
+                    _Attempt(
+                        index=index,
+                        attempt=attempt,
+                        proc=proc,
+                        conn=parent_conn,
+                        deadline=(
+                            now + timeout_s if timeout_s is not None else None
+                        ),
+                    )
+                )
+            queue.extend(held)
+
+            if not active:
+                # Everything pending is in a backoff hold.
+                next_up = min(nb for _, _, nb in queue)
+                time.sleep(max(0.0, next_up - time.monotonic()))
+                continue
+
+            deadlines = [a.deadline for a in active if a.deadline is not None]
+            holds = [nb for _, _, nb in queue if nb > time.monotonic()]
+            wake = min(deadlines + holds) if (deadlines or holds) else None
+            wait_s = (
+                max(0.0, wake - time.monotonic()) if wake is not None else None
+            )
+            ready = mp.connection.wait(
+                [a.conn for a in active], timeout=wait_s
+            )
+
+            still_active: list[_Attempt] = []
+            now = time.monotonic()
+            for a in active:
+                if a.conn in ready:
+                    try:
+                        ok, value = a.conn.recv()
+                    except (EOFError, OSError):
+                        ok, value = False, None
+                    a.conn.close()
+                    a.proc.join()
+                    if ok:
+                        results[a.index] = value
+                    elif value is not None:
+                        settle(a.index, a.attempt, "error", value)
+                    else:
+                        settle(
+                            a.index,
+                            a.attempt,
+                            "died",
+                            f"worker exited with code {a.proc.exitcode} "
+                            "before reporting a result",
+                        )
+                elif a.deadline is not None and now >= a.deadline:
+                    obs.incr("parallel.timeouts")
+                    a.proc.kill()
+                    a.proc.join()
+                    a.conn.close()
+                    settle(
+                        a.index,
+                        a.attempt,
+                        "timeout",
+                        f"attempt exceeded {timeout_s:g} s deadline",
+                    )
+                else:
+                    still_active.append(a)
+            active = still_active
+    finally:
+        for a in active:  # only on an unexpected escape
+            a.proc.kill()
+            a.proc.join()
+            a.conn.close()
+
     if failures:
         failures.sort(key=lambda f: f[0])
         raise ParallelExecutionError(failures)

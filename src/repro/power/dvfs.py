@@ -59,12 +59,21 @@ class DVFSTable:
         """Index of the fastest level."""
         return self.n_levels - 1
 
+    def _check_level(self, level) -> None:
+        lv = np.asarray(level)
+        if np.any(lv < 0) or np.any(lv >= self.n_levels):
+            raise ConfigurationError(
+                f"DVFS level {level!r} outside 0..{self.max_level}"
+            )
+
     def frequency_ghz(self, level) -> np.ndarray:
         """Frequency at ``level`` [GHz] (vectorized over level arrays)."""
+        self._check_level(level)
         return np.asarray(self.freq_ghz)[level]
 
     def voltage_v(self, level) -> np.ndarray:
         """Supply voltage at ``level`` [V] (vectorized)."""
+        self._check_level(level)
         return np.asarray(self.vdd_v)[level]
 
     def dynamic_scale(self, level) -> np.ndarray:

@@ -49,6 +49,23 @@ class TemperatureSensorBank:
             raise ConfigurationError("noise sigma must be non-negative")
         self._rng = np.random.default_rng(self.seed)
 
+    # Pickling contract: a clone must continue the *exact* noise stream
+    # of its source at the moment of pickling, so a bank shipped to a
+    # spawn worker reads the same values a serial run would have read.
+    # The generator itself is replaced by its bit-generator state dict —
+    # explicit, version-stable, and independent of how numpy pickles
+    # Generator objects.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_rng"] = self._rng.bit_generator.state
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        rng_state = state.pop("_rng")
+        self.__dict__.update(state)
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = rng_state
+
     @property
     def step_c(self) -> float:
         """Quantization step [degC]."""

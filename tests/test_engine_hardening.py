@@ -1,0 +1,297 @@
+"""Hardened engine loop: fault wiring, watchdog, health, fallback.
+
+The contract under test: enabling the robustness machinery without any
+active fault changes *nothing* (bit-identical traces), and with faults
+active the guards keep the run alive and inside the envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, SimulationEngine
+from repro.core.problem import EnergyProblem
+from repro.core.state import ActuatorState
+from repro.core.tecfan import TECfanController
+from repro.exceptions import ThermalModelError
+from repro.faults import (
+    FanStuckFault,
+    FaultScheduler,
+    HealthConfig,
+    SensorStuckFault,
+    TECStuckFault,
+    WatchdogConfig,
+)
+from repro.obs import Telemetry, telemetry_session
+from repro.perf import splash2_workload
+from repro.perf.splash2 import REF_FREQ_GHZ
+from repro.perf.workload import WorkloadRun
+
+MAX_TIME_S = 0.02
+
+
+def _run(system4, cfg, controller=None, t_threshold_c=74.0, fan_level=2):
+    engine = SimulationEngine(
+        system4, EnergyProblem(t_threshold_c=t_threshold_c), cfg
+    )
+    wl = splash2_workload("lu", 4, system4.chip)
+    state = ActuatorState.initial(
+        system4.n_tec_devices,
+        system4.n_cores,
+        system4.dvfs.max_level,
+        fan_level=fan_level,
+    )
+    return engine.run(
+        WorkloadRun(wl, system4.chip, REF_FREQ_GHZ),
+        controller if controller is not None else TECfanController(),
+        initial_state=state,
+    )
+
+
+def _counters(tel):
+    return tel.metrics.snapshot()["counters"]
+
+
+# ----------------------------------------------------------------------
+# Acceptance criterion: no-fault runs are bit-identical to the classic
+# engine even with every guard armed.
+# ----------------------------------------------------------------------
+def test_hardened_idle_is_bit_identical_to_classic(system4):
+    classic = _run(system4, EngineConfig(max_time_s=MAX_TIME_S))
+    hardened = _run(
+        system4,
+        EngineConfig(
+            max_time_s=MAX_TIME_S,
+            faults=FaultScheduler(),  # armed, but the script is empty
+            watchdog=WatchdogConfig(),
+            health=HealthConfig(),
+            estimator_fallback=True,
+        ),
+    )
+    for fld in (
+        "time_s",
+        "dt_s",
+        "peak_temp_c",
+        "p_chip_w",
+        "p_tec_w",
+        "p_fan_w",
+        "ips_chip",
+        "tec_on",
+        "fan_level",
+        "mean_dvfs_level",
+    ):
+        assert np.array_equal(
+            getattr(hardened.trace, fld), getattr(classic.trace, fld)
+        ), fld
+    assert hardened.metrics == classic.metrics
+    assert np.array_equal(hardened.final_state.tec, classic.final_state.tec)
+    assert np.array_equal(hardened.final_state.dvfs, classic.final_state.dvfs)
+    assert hardened.final_state.fan_level == classic.final_state.fan_level
+
+
+def test_inactive_fault_window_is_also_bit_identical(system4):
+    # A scripted fault whose window never opens must not perturb the run.
+    classic = _run(system4, EngineConfig(max_time_s=MAX_TIME_S))
+    scripted = _run(
+        system4,
+        EngineConfig(
+            max_time_s=MAX_TIME_S,
+            faults=FaultScheduler([FanStuckFault(level=6, t_start_s=1e6)]),
+        ),
+    )
+    assert np.array_equal(
+        scripted.trace.peak_temp_c, classic.trace.peak_temp_c
+    )
+    assert scripted.metrics == classic.metrics
+
+
+def test_hardened_runs_are_repeatable(system4):
+    cfg = EngineConfig(
+        max_time_s=MAX_TIME_S,
+        faults=FaultScheduler(
+            [TECStuckFault(device=0, mode="stuck_on", t_start_s=0.0)]
+        ),
+        watchdog=WatchdogConfig(),
+        health=HealthConfig(),
+        estimator_fallback=True,
+    )
+    a = _run(system4, cfg)
+    b = _run(system4, cfg)  # same engine config, fresh run: reset() works
+    assert np.array_equal(a.trace.peak_temp_c, b.trace.peak_temp_c)
+    assert a.metrics == b.metrics
+
+
+# ----------------------------------------------------------------------
+# Fault wiring: the plant runs on effective actuation
+# ----------------------------------------------------------------------
+def test_fan_fault_hits_plant_and_trace(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        res = _run(
+            system4,
+            EngineConfig(
+                max_time_s=MAX_TIME_S,
+                faults=FaultScheduler(
+                    [FanStuckFault(level=6, t_start_s=0.01)]
+                ),
+            ),
+        )
+    lv = res.trace.fan_level
+    assert lv[0] == 2  # healthy prefix at the commanded level
+    assert lv[-1] == 6  # effective (faulted) level is what is recorded
+    assert _counters(tel)["faults.injected"] == 1
+
+
+def test_tec_fault_changes_recorded_tec_count(system4):
+    res = _run(
+        system4,
+        EngineConfig(
+            max_time_s=MAX_TIME_S,
+            faults=FaultScheduler(
+                [
+                    TECStuckFault(
+                        device=d, mode="stuck_on", t_start_s=0.0
+                    )
+                    for d in range(system4.n_tec_devices)
+                ]
+            ),
+        ),
+        t_threshold_c=90.0,  # cool run: policy would keep TECs off
+    )
+    assert res.trace.tec_on[0] == system4.n_tec_devices
+
+
+# ----------------------------------------------------------------------
+# Watchdog: trip to the refuge, skip the policy
+# ----------------------------------------------------------------------
+def test_watchdog_trips_to_safe_state(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        res = _run(
+            system4,
+            EngineConfig(
+                max_time_s=MAX_TIME_S,
+                watchdog=WatchdogConfig(trip_intervals=2),
+            ),
+            t_threshold_c=40.0,  # unreachable: every interval is hot
+        )
+    assert _counters(tel)["watchdog.trips"] == 1
+    final = res.final_state
+    assert final.dvfs.tolist() == [0] * system4.n_cores
+    assert final.tec.tolist() == [1.0] * system4.n_tec_devices
+    assert final.fan_level == 1
+    # The refuge overrides the policy: every TEC is driven on, which
+    # the energy-minimizing policy never does on its own.
+    assert res.trace.tec_on[-1] == system4.n_tec_devices
+    assert res.trace.mean_dvfs_level[-1] == 0.0
+
+
+def test_watchdog_disabled_never_trips(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        _run(
+            system4,
+            EngineConfig(max_time_s=MAX_TIME_S, health=HealthConfig()),
+            t_threshold_c=40.0,
+        )
+    assert _counters(tel).get("watchdog.trips", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Health monitor: mask + reconcile inside the loop
+# ----------------------------------------------------------------------
+def test_dead_fan_is_masked_and_reconciled(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        res = _run(
+            system4,
+            EngineConfig(
+                max_time_s=MAX_TIME_S,
+                faults=FaultScheduler([FanStuckFault(level=6, t_start_s=0.0)]),
+                health=HealthConfig(),
+            ),
+        )
+    assert _counters(tel)["health.masked_actuators"] >= 1
+    # Reconciliation: the state the controller carries now tells the
+    # truth about the fan, so the estimator predicts with level 6.
+    assert res.final_state.fan_level == 6
+
+
+def test_stuck_on_tec_masked(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        res = _run(
+            system4,
+            EngineConfig(
+                max_time_s=MAX_TIME_S,
+                faults=FaultScheduler(
+                    [TECStuckFault(device=0, mode="stuck_on", t_start_s=0.0)]
+                ),
+                health=HealthConfig(),
+            ),
+            t_threshold_c=90.0,  # cool run: the policy commands TECs off
+        )
+    assert _counters(tel)["health.masked_actuators"] >= 1
+    assert res.final_state.tec[0] == 1.0  # reconciled to the truth
+
+
+def test_lying_cold_sensor_masked(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        _run(
+            system4,
+            EngineConfig(
+                max_time_s=MAX_TIME_S,
+                faults=FaultScheduler(
+                    [SensorStuckFault(component=0, value_c=5.0, t_start_s=0.005)]
+                ),
+                health=HealthConfig(),
+            ),
+        )
+    assert _counters(tel)["health.masked_sensors"] == 1
+
+
+# ----------------------------------------------------------------------
+# Estimator fallback: solver failures hold the last safe action
+# ----------------------------------------------------------------------
+class _BrittleController(TECfanController):
+    """Fails on a fixed schedule, as a singular what-if solve would."""
+
+    def __init__(self, fail_every=3):
+        super().__init__()
+        self.fail_every = fail_every
+        self._calls = 0
+
+    def decide(self, state, sensor_temps_c, estimator, problem):
+        self._calls += 1
+        if self._calls % self.fail_every == 0:
+            raise ThermalModelError("what-if solve went singular")
+        return super().decide(state, sensor_temps_c, estimator, problem)
+
+
+def test_estimator_fallback_holds_last_action(system4):
+    tel = Telemetry()
+    with telemetry_session(tel):
+        # priming_intervals=0: the priming pass is deliberately
+        # guard-free, so a failure there would (correctly) propagate.
+        res = _run(
+            system4,
+            EngineConfig(
+                max_time_s=MAX_TIME_S,
+                estimator_fallback=True,
+                priming_intervals=0,
+            ),
+            controller=_BrittleController(),
+        )
+    assert len(res.trace) > 0  # survived every scheduled failure
+    assert _counters(tel)["controller.fallbacks"] >= 3
+
+
+def test_without_fallback_estimator_failure_propagates(system4):
+    with pytest.raises(ThermalModelError):
+        _run(
+            system4,
+            EngineConfig(max_time_s=MAX_TIME_S, priming_intervals=0),
+            controller=_BrittleController(),
+        )

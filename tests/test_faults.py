@@ -1,0 +1,350 @@
+"""Fault models, scheduler semantics, and the guard state machines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import ActuatorState
+from repro.exceptions import ConfigurationError, FaultInjectionError
+from repro.faults import (
+    FAULT_KINDS,
+    ActuatorHealthMonitor,
+    DVFSStuckFault,
+    FanDegradedFault,
+    FanStuckFault,
+    FaultScheduler,
+    HealthConfig,
+    SensorDriftFault,
+    SensorDropoutFault,
+    SensorStuckFault,
+    SensorValidator,
+    TECStuckFault,
+    ThermalWatchdog,
+    WatchdogConfig,
+    safe_state,
+)
+
+
+# ----------------------------------------------------------------------
+# Fault models: windows and eager validation
+# ----------------------------------------------------------------------
+def test_activity_window_half_open():
+    f = TECStuckFault(device=0, t_start_s=1.0, t_end_s=2.0)
+    assert not f.active(0.999)
+    assert f.active(1.0)
+    assert f.active(1.999)
+    assert not f.active(2.0)
+
+
+def test_permanent_fault_has_no_end():
+    f = FanStuckFault(level=3, t_start_s=0.5)
+    assert f.active(0.5) and f.active(1e9)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: TECStuckFault(device=-1),
+        lambda: TECStuckFault(mode="stuck_sideways"),
+        lambda: FanStuckFault(level=0),
+        lambda: FanDegradedFault(levels_lost=0),
+        lambda: DVFSStuckFault(core=-3),
+        lambda: SensorStuckFault(component=-1),
+        lambda: SensorDropoutFault(p_drop=0.0),
+        lambda: SensorDropoutFault(p_drop=1.5),
+        lambda: SensorDriftFault(drift_c_per_s=0.0),
+        lambda: TECStuckFault(t_start_s=-1.0),
+        lambda: TECStuckFault(t_start_s=2.0, t_end_s=2.0),
+    ],
+)
+def test_malformed_faults_rejected_at_construction(bad):
+    with pytest.raises(FaultInjectionError):
+        bad()
+
+
+# ----------------------------------------------------------------------
+# Scheduler: transformations, latching, determinism
+# ----------------------------------------------------------------------
+def test_no_active_fault_returns_input_unchanged():
+    sched = FaultScheduler([TECStuckFault(device=1, t_start_s=5.0)])
+    tec = np.array([1.0, 1.0, 0.0])
+    dvfs = np.array([3, 3], dtype=int)
+    temps = np.array([50.0, 60.0])
+    # Before the window: identity, and the *same object* (no copies on
+    # the healthy path — that is what keeps no-fault runs bit-identical).
+    assert sched.apply_tec(0.0, tec) is tec
+    assert sched.apply_dvfs(0.0, dvfs) is dvfs
+    assert sched.apply_sensors(0.0, temps) is temps
+    assert sched.apply_fan(0.0, 2, n_levels=6) == 2
+    assert not sched.any_active(0.0)
+
+
+def test_tec_stuck_modes():
+    sched = FaultScheduler(
+        [
+            TECStuckFault(device=0, mode="stuck_off"),
+            TECStuckFault(device=2, mode="stuck_on"),
+        ]
+    )
+    out = sched.apply_tec(0.0, np.array([1.0, 1.0, 0.0]))
+    assert out.tolist() == [0.0, 1.0, 1.0]
+
+
+def test_fan_stuck_latches_onset_level():
+    sched = FaultScheduler([FanStuckFault(level=None, t_start_s=1.0)])
+    assert sched.apply_fan(0.0, 2, n_levels=6) == 2
+    assert sched.apply_fan(1.0, 4, n_levels=6) == 4  # latched here
+    assert sched.apply_fan(2.0, 1, n_levels=6) == 4  # commands ignored
+    sched.reset()
+    assert sched.apply_fan(1.5, 3, n_levels=6) == 3  # fresh latch
+
+
+def test_fan_degraded_clips_to_slowest():
+    sched = FaultScheduler([FanDegradedFault(levels_lost=2)])
+    assert sched.apply_fan(0.0, 1, n_levels=6) == 3
+    assert sched.apply_fan(0.0, 5, n_levels=6) == 6
+
+
+def test_dvfs_stuck_single_core_latches():
+    sched = FaultScheduler([DVFSStuckFault(core=1, t_start_s=0.0)])
+    first = sched.apply_dvfs(0.0, np.array([5, 5], dtype=int))
+    assert first.tolist() == [5, 5]
+    later = sched.apply_dvfs(1.0, np.array([2, 2], dtype=int))
+    assert later.tolist() == [2, 5]  # core 1 frozen at onset level
+
+
+def test_sensor_stuck_and_drift():
+    sched = FaultScheduler(
+        [
+            SensorStuckFault(component=0, value_c=40.0),
+            SensorDriftFault(component=1, drift_c_per_s=2.0, t_start_s=1.0),
+        ]
+    )
+    out = sched.apply_sensors(3.0, np.array([80.0, 80.0, 80.0]))
+    assert out[0] == 40.0
+    assert out[1] == pytest.approx(80.0 + 2.0 * 2.0)
+    assert out[2] == 80.0
+
+
+def test_sensor_dropout_deterministic_per_seed():
+    def pattern(seed):
+        sched = FaultScheduler(
+            [SensorDropoutFault(component=0, p_drop=0.5)], seed=seed
+        )
+        return [
+            sched.apply_sensors(0.0, np.array([70.0]))[0] for _ in range(40)
+        ]
+
+    assert pattern(7) == pattern(7)
+    assert pattern(7) != pattern(8)
+    # reset() replays the identical sequence.
+    sched = FaultScheduler(
+        [SensorDropoutFault(component=0, p_drop=0.5)], seed=7
+    )
+    a = [sched.apply_sensors(0.0, np.array([70.0]))[0] for _ in range(40)]
+    sched.reset()
+    b = [sched.apply_sensors(0.0, np.array([70.0]))[0] for _ in range(40)]
+    assert a == b
+
+
+def test_from_spec_round_trip_and_errors():
+    sched = FaultScheduler.from_spec(
+        [
+            {"kind": "tec_stuck", "device": 3, "mode": "stuck_on"},
+            {"kind": "fan_stuck", "level": 2, "t_start_s": 0.5},
+        ]
+    )
+    assert isinstance(sched.faults[0], TECStuckFault)
+    assert isinstance(sched.faults[1], FanStuckFault)
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler.from_spec({"kind": "tec_stuck"})  # not a list
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler.from_spec([{"device": 1}])  # no kind
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler.from_spec([{"kind": "warp_core_breach"}])
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler.from_spec([{"kind": "fan_stuck", "rpm": 9000}])
+    assert set(FAULT_KINDS) >= {"tec_stuck", "fan_stuck", "sensor_stuck"}
+
+
+def test_scheduler_rejects_non_fault_objects():
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler([{"kind": "tec_stuck"}])
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler().add("fan_stuck")
+
+
+def test_validate_against_system(system2):
+    FaultScheduler(
+        [TECStuckFault(device=system2.n_tec_devices - 1)]
+    ).validate(system2)
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler(
+            [TECStuckFault(device=system2.n_tec_devices)]
+        ).validate(system2)
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler([DVFSStuckFault(core=99)]).validate(system2)
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler(
+            [FanStuckFault(level=system2.fan.n_levels + 1)]
+        ).validate(system2)
+    with pytest.raises(FaultInjectionError):
+        FaultScheduler(
+            [SensorStuckFault(component=system2.nodes.n_components)]
+        ).validate(system2)
+
+
+# ----------------------------------------------------------------------
+# Thermal watchdog
+# ----------------------------------------------------------------------
+def test_watchdog_trips_after_debounce_and_recovers_with_hysteresis():
+    cfg = WatchdogConfig(
+        margin_c=1.0, trip_intervals=2, recover_margin_c=2.0,
+        recover_intervals=3,
+    )
+    dog = ThermalWatchdog(cfg, t_threshold_c=80.0)
+    assert not dog.feed(81.5)  # one hot interval: debounced
+    assert not dog.feed(80.5)  # back under margin resets the streak
+    assert not dog.feed(81.5)
+    assert dog.feed(81.2)  # second consecutive: trip
+    assert dog.trips == 1
+    # Recovery needs sustained deep cooling, not one cool reading.
+    assert dog.feed(77.0)
+    assert dog.feed(79.0)  # inside hysteresis band: hold-down restarts
+    assert dog.feed(77.5)
+    assert dog.feed(77.5)
+    assert not dog.feed(77.5)  # third consecutive cool interval
+    assert dog.trips == 1
+
+
+def test_watchdog_config_validation():
+    with pytest.raises(ConfigurationError):
+        WatchdogConfig(margin_c=-0.1)
+    with pytest.raises(ConfigurationError):
+        WatchdogConfig(trip_intervals=0)
+    with pytest.raises(ConfigurationError):
+        WatchdogConfig(recover_intervals=0)
+
+
+def test_safe_state_is_max_cooling_min_heat():
+    s = safe_state(n_tec_devices=4, n_cores=2)
+    assert s.tec.tolist() == [1.0] * 4
+    assert s.dvfs.tolist() == [0, 0]
+    assert s.fan_level == 1
+
+
+# ----------------------------------------------------------------------
+# Actuator health monitor
+# ----------------------------------------------------------------------
+def _observe(mon, *, tec_cmd, tec_eff, fan_cmd=1, fan_eff=1):
+    mon.observe(
+        tec_cmd=np.asarray(tec_cmd, dtype=float),
+        tec_eff=np.asarray(tec_eff, dtype=float),
+        dvfs_cmd=np.zeros(2, dtype=int),
+        dvfs_eff=np.zeros(2, dtype=int),
+        fan_cmd=fan_cmd,
+        fan_eff=fan_eff,
+    )
+
+
+def test_health_masks_after_persistent_divergence_and_is_sticky():
+    mon = ActuatorHealthMonitor(
+        HealthConfig(divergence_intervals=2), n_devices=3, n_cores=2
+    )
+    _observe(mon, tec_cmd=[1, 0, 0], tec_eff=[0, 0, 0])
+    assert mon.health().all_ok  # one interval: engagement transient
+    _observe(mon, tec_cmd=[1, 0, 0], tec_eff=[0, 0, 0])
+    assert not mon.health().tec_ok[0]
+    assert mon.n_masked == 1
+    # Sticky: agreement later does not resurrect the actuator.
+    _observe(mon, tec_cmd=[0, 0, 0], tec_eff=[0, 0, 0])
+    assert not mon.health().tec_ok[0]
+
+
+def test_health_fan_masks_on_first_divergence():
+    # Tach feedback is exact: the default masks the fan in one interval.
+    mon = ActuatorHealthMonitor(HealthConfig(), n_devices=1, n_cores=2)
+    _observe(mon, tec_cmd=[0], tec_eff=[0], fan_cmd=2, fan_eff=6)
+    assert not mon.health().fan_ok
+
+
+def test_health_reconcile_overwrites_only_masked_knobs():
+    mon = ActuatorHealthMonitor(
+        HealthConfig(divergence_intervals=1), n_devices=2, n_cores=2
+    )
+    _observe(mon, tec_cmd=[1, 1], tec_eff=[0, 1], fan_cmd=2, fan_eff=5)
+    state = ActuatorState(
+        tec=np.array([1.0, 1.0]),
+        dvfs=np.array([3, 3], dtype=int),
+        fan_level=2,
+    )
+    fixed = mon.reconcile(state)
+    assert fixed.tec.tolist() == [0.0, 1.0]  # dead device reads back 0
+    assert fixed.fan_level == 5  # fan reads back its true level
+    assert fixed.dvfs.tolist() == [3, 3]  # healthy knobs untouched
+
+
+def test_health_reconcile_noop_when_all_ok():
+    mon = ActuatorHealthMonitor(HealthConfig(), n_devices=2, n_cores=2)
+    state = ActuatorState(
+        tec=np.zeros(2), dvfs=np.zeros(2, dtype=int), fan_level=1
+    )
+    assert mon.reconcile(state) is state
+
+
+def test_health_config_validation():
+    with pytest.raises(ConfigurationError):
+        HealthConfig(divergence_intervals=0)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(fan_divergence_intervals=0)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(tec_tolerance=1.5)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(sensor_tolerance_c=0.0)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(sensor_global_frac=0.0)
+
+
+# ----------------------------------------------------------------------
+# Sensor validator
+# ----------------------------------------------------------------------
+def test_validator_substitutes_cold_liar_immediately_then_masks():
+    v = SensorValidator(HealthConfig(sensor_intervals=3))
+    predicted = np.array([80.0, 80.0, 80.0, 80.0, 80.0])
+    lying = np.array([80.0, 30.0, 80.0, 80.0, 80.0])
+    for _ in range(3):
+        out = v.filter(lying, predicted)
+        # Substituted from interval one — before the mask latches.
+        assert out[1] == 80.0
+        assert out[0] == 80.0
+    assert v.n_masked == 1
+    # Once masked, even a plausible reading is replaced by the model.
+    healed = np.array([80.0, 79.5, 80.0, 80.0, 80.0])
+    assert v.filter(healed, predicted)[1] == 80.0
+
+
+def test_validator_trusts_hot_readings():
+    v = SensorValidator(HealthConfig())
+    predicted = np.full(5, 70.0)
+    hot = np.array([70.0, 95.0, 70.0, 70.0, 70.0])
+    for _ in range(10):
+        out = v.filter(hot, predicted)
+    assert out[1] == 95.0  # never suppressed, never masked
+    assert v.n_masked == 0
+
+
+def test_validator_holds_off_on_global_divergence():
+    # >25 % of sensors implausible at once: model error, not sensors.
+    v = SensorValidator(HealthConfig(sensor_intervals=1))
+    predicted = np.full(4, 90.0)
+    readings = np.array([60.0, 60.0, 70.0, 89.0])
+    out = v.filter(readings, predicted)
+    np.testing.assert_array_equal(out, readings)  # raw passthrough
+    assert v.n_masked == 0
+
+
+def test_validator_passthrough_before_first_prediction():
+    v = SensorValidator(HealthConfig())
+    readings = np.array([50.0, 60.0])
+    assert v.filter(readings, None) is readings

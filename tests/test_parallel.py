@@ -7,6 +7,9 @@ same constraint the library's own ``_fan_sweep_task`` obeys).
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -17,7 +20,8 @@ from repro.core.problem import EnergyProblem
 from repro.core.state import ActuatorState
 from repro.core.system import build_system
 from repro.exceptions import ParallelExecutionError
-from repro.parallel import parallel_map, resolve_jobs
+from repro.obs import telemetry as obs
+from repro.parallel import TaskFailure, parallel_map, resolve_jobs
 from repro.perf import splash2_workload
 from repro.perf.splash2 import REF_FREQ_GHZ
 from repro.perf.workload import WorkloadRun
@@ -87,6 +91,123 @@ def test_worker_failure_surfaces_clean_exception():
 def test_serial_failure_raises_original_exception():
     with pytest.raises(ValueError):
         parallel_map(_fail_on_odd, [0, 1], jobs=1)
+
+
+# ----------------------------------------------------------------------
+# Resilience: timeouts, retries, partial results
+# ----------------------------------------------------------------------
+def _hang_or_square(payload):
+    x, hang_s = payload
+    if hang_s:
+        time.sleep(hang_s)
+    return x * x
+
+
+def _flaky(payload):
+    """Fails once per sentinel path, succeeds on the retry.
+
+    The sentinel file is how the failure state crosses the process
+    boundary: attempt one creates it and raises, attempt two (a fresh
+    worker) sees it and succeeds.
+    """
+    x, sentinel = payload
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError(f"transient failure for {x}")
+    return x * x
+
+
+def test_hung_worker_killed_at_deadline_collect():
+    from repro.obs import Telemetry, telemetry_session
+
+    payloads = [(0, 0.0), (1, 600.0), (2, 0.0)]
+    tel = Telemetry()
+    with telemetry_session(tel):
+        out = parallel_map(
+            _hang_or_square,
+            payloads,
+            jobs=2,
+            timeout_s=10.0,
+            on_error="collect",
+        )
+    assert out[0] == 0 and out[2] == 4
+    failure = out[1]
+    assert isinstance(failure, TaskFailure)
+    assert not failure  # falsy, filterable
+    assert failure.kind == "timeout"
+    assert failure.index == 1 and failure.attempts == 1
+    counters = tel.metrics.snapshot()["counters"]
+    assert counters["parallel.timeouts"] == 1
+
+
+def test_hung_worker_raises_by_default():
+    with pytest.raises(ParallelExecutionError) as err:
+        parallel_map(
+            _hang_or_square,
+            [(0, 0.0), (1, 600.0)],
+            jobs=2,
+            timeout_s=10.0,
+        )
+    failed = [index for index, _ in err.value.failures]
+    assert failed == [1]
+    assert "timeout" in str(err.value)
+
+
+def test_transient_failure_retried_to_success(tmp_path):
+    from repro.obs import Telemetry, telemetry_session
+
+    payloads = [
+        (3, str(tmp_path / "a.sentinel")),
+        (4, str(tmp_path / "b.sentinel")),
+    ]
+    tel = Telemetry()
+    with telemetry_session(tel):
+        out = parallel_map(_flaky, payloads, jobs=2, retries=1)
+    assert out == [9, 16]
+    counters = tel.metrics.snapshot()["counters"]
+    assert counters["parallel.retries"] == 2
+
+
+def test_retries_exhausted_collects_traceback():
+    out = parallel_map(
+        _fail_on_odd, [0, 1, 2], jobs=2, retries=1, on_error="collect",
+        backoff_s=0.01,
+    )
+    assert out[0] == 0 and out[2] == 2
+    assert isinstance(out[1], TaskFailure)
+    assert out[1].kind == "error"
+    assert out[1].attempts == 2
+    assert "odd payload 1" in out[1].detail
+    # Surviving results are directly usable after filtering.
+    assert [r for r in out if r or r == 0] == [0, 2]
+
+
+def test_serial_retry_and_collect(tmp_path):
+    payloads = [(5, str(tmp_path / "serial.sentinel"))]
+    assert parallel_map(_flaky, payloads, jobs=1, retries=1) == [25]
+    out = parallel_map(
+        _fail_on_odd, [1], jobs=1, on_error="collect"
+    )
+    assert isinstance(out[0], TaskFailure)
+
+
+def test_env_defaults_for_resilience(monkeypatch, tmp_path):
+    monkeypatch.setenv("TECFAN_JOB_RETRIES", "1")
+    payloads = [
+        (6, str(tmp_path / "env-a.sentinel")),
+        (7, str(tmp_path / "env-b.sentinel")),
+    ]
+    assert parallel_map(_flaky, payloads, jobs=2) == [36, 49]
+
+
+def test_resilient_path_matches_fast_path_results():
+    payloads = list(range(8))
+    fast = parallel_map(_square, payloads, jobs=4)
+    resilient = parallel_map(
+        _square, payloads, jobs=4, timeout_s=120.0, retries=2
+    )
+    assert resilient == fast
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,39 @@ def test_noise_magnitude_plausible():
     assert 0.4 < read.std() < 0.6
 
 
+def test_pickled_clone_continues_the_noise_stream():
+    # Spawn workers receive the bank by pickle; their readings must
+    # match what the parent would have produced from the same point.
+    import pickle
+
+    bank = TemperatureSensorBank(noise_sigma_c=0.5, seed=3)
+    t = np.full(64, 70.0)
+    bank.read_c(t)  # advance the stream past its seed state
+    clone = pickle.loads(pickle.dumps(bank))
+    np.testing.assert_array_equal(clone.read_c(t), bank.read_c(t))
+    np.testing.assert_array_equal(clone.read_c(t), bank.read_c(t))
+
+
+def test_pickle_round_trip_in_spawn_worker():
+    # End to end through a real spawn boundary: the child continues the
+    # parent's stream, not a reseeded one.
+    import multiprocessing as mp
+    import pickle
+
+    bank = TemperatureSensorBank(noise_sigma_c=0.5, seed=9)
+    t = np.full(16, 70.0)
+    bank.read_c(t)
+    expected = pickle.loads(pickle.dumps(bank)).read_c(t)
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        got = pool.apply(_read_in_worker, (bank,))
+    np.testing.assert_array_equal(got, expected)
+
+
+def _read_in_worker(bank):
+    return bank.read_c(np.full(16, 70.0))
+
+
 def test_invalid_configuration_rejected():
     with pytest.raises(ConfigurationError):
         TemperatureSensorBank(range_c=(100.0, 0.0))
