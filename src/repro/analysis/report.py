@@ -66,9 +66,22 @@ def render_profile(profile: dict, title: str = "telemetry profile") -> str:
     :func:`repro.obs.exporters.read_jsonl` or
     :meth:`repro.obs.Telemetry.snapshot`: ``spans`` (name -> stats),
     ``counters``, ``gauges``, and ``histograms``. Sections with no data
-    are omitted; the result is the ``repro profile`` output.
+    are omitted; the result is the ``repro profile`` output. When the
+    session (or the loaded stream's manifest) records dropped events,
+    the tables are preceded by a loud truncation warning — a silently
+    truncated event stream reads as a complete one otherwise.
     """
     blocks: list[str] = []
+    dropped = profile.get("events_dropped") or (
+        (profile.get("manifest") or {}).get("events_dropped")
+    )
+    if dropped:
+        blocks.append(
+            f"!!! WARNING: {dropped} telemetry event(s) were DROPPED "
+            "(event retention cap hit) — aggregates below are complete, "
+            "but the event stream is truncated; use the streaming "
+            "exporter for long runs !!!"
+        )
     spans = profile.get("spans") or {}
     if spans:
         rows = [

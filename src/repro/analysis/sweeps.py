@@ -36,19 +36,51 @@ class TECDensityPoint:
     violation_rate: float
 
 
+def _density_point(task: tuple) -> TECDensityPoint:
+    """One grid density end to end (module-level: must pickle to workers)."""
+    grid, workload, threads, fan_level, t_threshold_c = task
+    system = build_system(tec_grid=grid)
+    problem = EnergyProblem(t_threshold_c=t_threshold_c)
+    engine = SimulationEngine(system, problem, EngineConfig(max_time_s=2.0))
+    wl = splash2_workload(workload, threads, system.chip)
+    state = ActuatorState.initial(
+        system.n_tec_devices,
+        system.n_cores,
+        system.dvfs.max_level,
+        fan_level=fan_level,
+    )
+    res = engine.run(
+        WorkloadRun(wl, system.chip, REF_FREQ_GHZ),
+        FanTECController(),
+        initial_state=state,
+    )
+    tr = res.trace
+    dur = float(tr.dt_s.sum())
+    return TECDensityPoint(
+        grid=grid,
+        devices_per_core=grid[0] * grid[1],
+        peak_temp_c=res.metrics.peak_temp_c,
+        tec_power_w=float((tr.p_tec_w * tr.dt_s).sum() / dur),
+        violation_rate=res.metrics.violation_rate,
+    )
+
+
 def tec_density_sweep(
     workload: str = "cholesky",
     threads: int = 16,
     grids: tuple = ((1, 1), (2, 2), (3, 3)),
     fan_level: int = 2,
     t_threshold_c: float | None = None,
+    jobs: int | None = None,
 ) -> list[TECDensityPoint]:
     """How much TEC coverage does hot-spot recovery need?
 
     Each grid density gets its own system build (the TEC bodies change
     the passive heat path too); the threshold defaults to the
     3x3-system's base-scenario peak so all densities chase the same
-    target.
+    target. Densities are independent, so ``jobs`` fans them out across
+    worker processes (results and order identical to serial; worker
+    telemetry merges back into the installed session).
     """
     # Threshold from the paper-standard platform.
     if t_threshold_c is None:
@@ -59,37 +91,13 @@ def tec_density_sweep(
             reference, workload, threads
         ).t_threshold_c
 
-    points: list[TECDensityPoint] = []
-    for grid in grids:
-        system = build_system(tec_grid=grid)
-        problem = EnergyProblem(t_threshold_c=t_threshold_c)
-        engine = SimulationEngine(
-            system, problem, EngineConfig(max_time_s=2.0)
-        )
-        wl = splash2_workload(workload, threads, system.chip)
-        state = ActuatorState.initial(
-            system.n_tec_devices,
-            system.n_cores,
-            system.dvfs.max_level,
-            fan_level=fan_level,
-        )
-        res = engine.run(
-            WorkloadRun(wl, system.chip, REF_FREQ_GHZ),
-            FanTECController(),
-            initial_state=state,
-        )
-        tr = res.trace
-        dur = float(tr.dt_s.sum())
-        points.append(
-            TECDensityPoint(
-                grid=grid,
-                devices_per_core=grid[0] * grid[1],
-                peak_temp_c=res.metrics.peak_temp_c,
-                tec_power_w=float((tr.p_tec_w * tr.dt_s).sum() / dur),
-                violation_rate=res.metrics.violation_rate,
-            )
-        )
-    return points
+    from repro.parallel import parallel_map
+
+    tasks = [
+        (grid, workload, threads, fan_level, t_threshold_c)
+        for grid in grids
+    ]
+    return parallel_map(_density_point, tasks, jobs)
 
 
 @dataclass(frozen=True)

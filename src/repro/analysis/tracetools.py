@@ -1,0 +1,393 @@
+"""Offline analysis of telemetry streams: diff, flame, anomalies.
+
+The ``tecfan trace`` CLI family works purely on exported JSONL streams
+(:func:`repro.obs.read_jsonl` form), so regression analysis needs no
+live run — the same discipline HotSpot-style thermal tooling applies to
+its run logs:
+
+* :func:`diff_streams` — span/counter deltas between two streams with
+  configurable regression thresholds; ``tecfan trace diff`` exits
+  nonzero when anything regresses, making it a CI gate;
+* :func:`flame_folded` — folded-stack (Brendan Gregg ``flamegraph.pl``)
+  output reconstructed from the aggregated ``span_edge`` records, self
+  time distributed over call paths by edge-count fractions;
+* :func:`detect_anomalies` — thermal-excursion, fan/TEC-oscillation and
+  EPI-drift detection over the per-interval event records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+
+__all__ = [
+    "DiffRow",
+    "TraceDiff",
+    "diff_streams",
+    "format_trace_diff",
+    "flame_folded",
+    "Anomaly",
+    "detect_anomalies",
+    "format_anomalies",
+]
+
+
+# ----------------------------------------------------------------------
+# trace diff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiffRow:
+    """One span or counter compared across two streams."""
+
+    kind: str  # "span" | "counter"
+    name: str
+    a: float
+    b: float
+    #: Relative change (b - a) / a; +inf when a == 0 and b > 0.
+    rel: float
+    regressed: bool
+
+    @property
+    def pct(self) -> float:
+        """Relative change in percent (for display)."""
+        return self.rel * 100.0
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of one stream-vs-stream comparison."""
+
+    rows: list = field(default_factory=list)
+    #: Names present in exactly one stream (informational, never gating).
+    only_a: list = field(default_factory=list)
+    only_b: list = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list:
+        return [r for r in self.rows if r.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def diff_streams(
+    a: dict,
+    b: dict,
+    *,
+    span_threshold_pct: float = 10.0,
+    counter_threshold_pct: float = 10.0,
+    min_total_ms: float = 1.0,
+) -> TraceDiff:
+    """Compare two parsed telemetry streams (A = baseline, B = candidate).
+
+    Spans compare on total wall time and regress when B exceeds A by
+    more than ``span_threshold_pct`` (spans below ``min_total_ms`` in
+    both streams are noise and never gate). Counters compare on value
+    and regress on the same one-sided rule — counting *more* hot
+    iterations / evaluations / violations is the regression; improving
+    is free. Names present in only one stream are reported but never
+    gate (a new instrument is not a regression).
+    """
+    out = TraceDiff()
+    spans_a = a.get("spans") or {}
+    spans_b = b.get("spans") or {}
+    for name in sorted(set(spans_a) & set(spans_b)):
+        ta = float(spans_a[name]["total_s"]) * 1e3
+        tb = float(spans_b[name]["total_s"]) * 1e3
+        rel = _rel(ta, tb)
+        big_enough = max(ta, tb) >= min_total_ms
+        regressed = big_enough and rel * 100.0 > span_threshold_pct
+        out.rows.append(
+            DiffRow(kind="span", name=name, a=ta, b=tb, rel=rel,
+                    regressed=regressed)
+        )
+    counters_a = a.get("counters") or {}
+    counters_b = b.get("counters") or {}
+    for name in sorted(set(counters_a) & set(counters_b)):
+        va, vb = float(counters_a[name]), float(counters_b[name])
+        rel = _rel(va, vb)
+        # A counter springing from zero has no meaningful relative
+        # change; report it, gate only on the threshold rule when a > 0.
+        regressed = va > 0 and rel * 100.0 > counter_threshold_pct
+        out.rows.append(
+            DiffRow(kind="counter", name=name, a=va, b=vb, rel=rel,
+                    regressed=regressed)
+        )
+    out.only_a = sorted(
+        (set(spans_a) - set(spans_b)) | (set(counters_a) - set(counters_b))
+    )
+    out.only_b = sorted(
+        (set(spans_b) - set(spans_a)) | (set(counters_b) - set(counters_a))
+    )
+    return out
+
+
+def _rel(a: float, b: float) -> float:
+    if a == 0.0:
+        return 0.0 if b == 0.0 else float("inf")
+    return (b - a) / a
+
+
+def format_trace_diff(diff: TraceDiff, title: str = "trace diff") -> str:
+    """Human-readable diff: changed rows first, regressions marked."""
+    changed = [r for r in diff.rows if r.rel != 0.0]
+    blocks: list[str] = []
+    if changed:
+        rows = [
+            [
+                "REGRESSED" if r.regressed else "",
+                r.kind,
+                r.name,
+                r.a,
+                r.b,
+                "+inf" if r.rel == float("inf") else f"{r.pct:+.1f}%",
+            ]
+            for r in sorted(
+                changed, key=lambda r: (not r.regressed, -abs(r.rel))
+            )
+        ]
+        blocks.append(
+            render_table(
+                ["", "kind", "name", "A", "B", "delta"],
+                rows,
+                title=f"{title} — changes (spans in ms)",
+            )
+        )
+    else:
+        blocks.append(f"{title}: no span/counter changes")
+    if diff.only_a:
+        blocks.append("only in A: " + ", ".join(diff.only_a))
+    if diff.only_b:
+        blocks.append("only in B: " + ", ".join(diff.only_b))
+    n = len(diff.regressions)
+    blocks.append(
+        f"{n} regression(s)" if n else "no regressions past thresholds"
+    )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# trace flame
+# ----------------------------------------------------------------------
+def flame_folded(parsed: dict) -> str:
+    """Folded-stack output reconstructed from ``span_edge`` records.
+
+    The tracker exports per-name aggregates plus parent->child edge
+    counts, not individual stacks, so reconstruction distributes each
+    span's *self* time over the call paths that reach it, weighted by
+    edge-count fractions (every span start records exactly one incoming
+    edge, so a span's total incoming edge count equals its occurrence
+    count). Each output line is ``frame;frame;... <microseconds>`` —
+    the format ``flamegraph.pl`` and speedscope ingest directly. Merged
+    streams keep their ``worker=N`` labels as root frames.
+    """
+    spans = parsed.get("spans") or {}
+    children: dict = {}
+    incoming: dict = {}
+    for rec in parsed.get("span_edges") or []:
+        parent, child, count = rec["parent"], rec["child"], rec["count"]
+        if parent == child:  # folded recursion: one frame, no new path
+            continue
+        children.setdefault(parent, []).append((child, count))
+        incoming[child] = incoming.get(child, 0) + count
+
+    lines: dict[str, float] = {}
+
+    def visit(name: str, stack: tuple, weight: float) -> None:
+        stack = stack + (name,)
+        self_s = float(spans.get(name, {}).get("self_s", 0.0))
+        if self_s * weight > 0.0:
+            key = ";".join(stack)
+            lines[key] = lines.get(key, 0.0) + self_s * weight
+        for child, count in children.get(name, []):
+            if child in stack:  # merged-edge cycles: cut, don't recurse
+                continue
+            visit(child, stack, count * weight / incoming[child])
+
+    for child, count in children.get(None, []):
+        visit(child, (), count / incoming[child])
+
+    out = []
+    for key in sorted(lines):
+        micros = int(round(lines[key] * 1e6))
+        if micros > 0:
+            out.append(f"{key} {micros}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# trace anomalies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected misbehavior over a stream's interval events."""
+
+    kind: str  # "thermal_excursion" | "oscillation" | "epi_drift"
+    t_start_s: float
+    t_end_s: float
+    value: float
+    detail: str
+
+
+def detect_anomalies(
+    parsed: dict,
+    *,
+    threshold_c: float | None = None,
+    margin_c: float = 0.5,
+    osc_window: int = 20,
+    osc_reversals: int = 6,
+    epi_drift_pct: float = 10.0,
+) -> list[Anomaly]:
+    """Scan a stream's interval events for control-loop misbehavior.
+
+    * **Thermal excursion** — a maximal run of consecutive intervals
+      whose peak exceeds ``threshold_c + margin_c``; the threshold
+      defaults to the ``t_threshold_c`` the engine annotated into the
+      manifest (skipped, not guessed, when neither is available).
+    * **Oscillation** — within any ``osc_window``-interval window, the
+      fan level (or TEC on-count) reverses direction at least
+      ``osc_reversals`` times: the limit-cycle signature of a control
+      loop fighting itself rather than settling.
+    * **EPI drift** — energy per instruction (chip power / chip IPS)
+      drifts between the first and last quarter of the run by more than
+      ``epi_drift_pct`` percent; needs the ``ips_chip`` event field
+      (schema 2 streams).
+    """
+    events = [
+        e for e in parsed.get("events") or [] if e.get("kind") == "interval"
+    ]
+    if not events:
+        return []
+    anomalies: list[Anomaly] = []
+
+    if threshold_c is None:
+        manifest = parsed.get("manifest") or {}
+        context = manifest.get("context") or {}
+        threshold_c = context.get("t_threshold_c")
+    if threshold_c is not None:
+        limit = float(threshold_c) + margin_c
+        run_start = None
+        peak = -float("inf")
+        for ev in events + [None]:  # sentinel flushes a trailing run
+            hot = ev is not None and ev["peak_temp_c"] > limit
+            if hot:
+                if run_start is None:
+                    run_start = ev["time_s"]
+                    peak = ev["peak_temp_c"]
+                else:
+                    peak = max(peak, ev["peak_temp_c"])
+                last_t = ev["time_s"]
+            elif run_start is not None:
+                anomalies.append(
+                    Anomaly(
+                        kind="thermal_excursion",
+                        t_start_s=run_start,
+                        t_end_s=last_t,
+                        value=peak,
+                        detail=(
+                            f"peak {peak:.2f} degC over threshold "
+                            f"{float(threshold_c):.2f}+{margin_c:g} degC"
+                        ),
+                    )
+                )
+                run_start = None
+                peak = -float("inf")
+
+    for signal, label in (("fan_level", "fan"), ("tec_on", "TEC")):
+        anomalies.extend(
+            _oscillations(events, signal, label, osc_window, osc_reversals)
+        )
+
+    epi = [
+        (e["time_s"], e["p_chip_w"] / e["ips_chip"])
+        for e in events
+        if e.get("ips_chip")
+    ]
+    if len(epi) >= 8:
+        quarter = max(len(epi) // 4, 1)
+        head = sum(v for _, v in epi[:quarter]) / quarter
+        tail = sum(v for _, v in epi[-quarter:]) / quarter
+        if head > 0:
+            drift_pct = (tail - head) / head * 100.0
+            if abs(drift_pct) > epi_drift_pct:
+                anomalies.append(
+                    Anomaly(
+                        kind="epi_drift",
+                        t_start_s=epi[0][0],
+                        t_end_s=epi[-1][0],
+                        value=drift_pct,
+                        detail=(
+                            f"EPI drifted {drift_pct:+.1f}% from first to "
+                            f"last quarter ({head:.3e} -> {tail:.3e} J/inst)"
+                        ),
+                    )
+                )
+
+    anomalies.sort(key=lambda a: (a.t_start_s, a.kind))
+    return anomalies
+
+
+def _oscillations(
+    events: list,
+    signal: str,
+    label: str,
+    window: int,
+    reversals: int,
+) -> list[Anomaly]:
+    """Direction-reversal clusters of one actuator signal."""
+    times = [e["time_s"] for e in events]
+    values = [e[signal] for e in events]
+    # Indices where a nonzero move reverses the previous nonzero move.
+    rev: list[int] = []
+    last_dir = 0
+    for i in range(1, len(values)):
+        delta = values[i] - values[i - 1]
+        if delta == 0:
+            continue
+        direction = 1 if delta > 0 else -1
+        if last_dir and direction != last_dir:
+            rev.append(i)
+        last_dir = direction
+    out: list[Anomaly] = []
+    i = 0
+    while i < len(rev):
+        j = i
+        # Grow the cluster while successive reversals stay within one
+        # window of each other (in interval counts).
+        while j + 1 < len(rev) and rev[j + 1] - rev[j] <= window:
+            j += 1
+        count = j - i + 1
+        if count >= reversals:
+            out.append(
+                Anomaly(
+                    kind="oscillation",
+                    t_start_s=times[rev[i]],
+                    t_end_s=times[rev[j]],
+                    value=float(count),
+                    detail=(
+                        f"{label} level reversed direction {count} times "
+                        f"within {rev[j] - rev[i] + 1} intervals"
+                    ),
+                )
+            )
+        i = j + 1
+    return out
+
+
+def format_anomalies(
+    anomalies: list, title: str = "trace anomalies"
+) -> str:
+    """Render detected anomalies as a table (or an all-clear line)."""
+    if not anomalies:
+        return f"{title}: none detected"
+    rows = [
+        [a.kind, a.t_start_s * 1e3, a.t_end_s * 1e3, a.detail]
+        for a in anomalies
+    ]
+    return render_table(
+        ["kind", "start_ms", "end_ms", "detail"],
+        rows,
+        title=f"{title} — {len(anomalies)} finding(s)",
+    )

@@ -11,12 +11,19 @@ Usage (installed as the ``tecfan`` entry point)::
     tecfan quick                     # one fast end-to-end TECfan demo
     tecfan profile                   # instrumented run + profile tables
     tecfan profile --load out.jsonl  # re-render a saved telemetry stream
+    tecfan trace diff A.jsonl B.jsonl   # span/counter regression gate
+    tecfan trace flame run.jsonl        # folded stacks for flamegraph.pl
+    tecfan trace anomalies run.jsonl    # thermal/oscillation/EPI scan
 
-Every subcommand accepts ``--telemetry PATH``: the command then runs
-under an installed :class:`repro.obs.Telemetry` session and, on exit,
-writes the JSONL stream (run manifest first, then span/metric
-aggregates and per-interval events) to ``PATH``. See
-``docs/OBSERVABILITY.md`` for the stream format and naming conventions.
+Every experiment subcommand accepts ``--telemetry PATH``: the command
+then runs under an installed :class:`repro.obs.Telemetry` session and,
+on exit, writes the JSONL stream (run manifest first, then span/metric
+aggregates and per-interval events) to ``PATH``. ``--telemetry-stream
+PATH`` records the same stream *incrementally* instead — interval
+events flush to disk as they happen (bounded memory, optional
+``--telemetry-rotate-mb`` rotation), so long runs never hit the
+in-memory event cap. See ``docs/OBSERVABILITY.md`` for the stream
+format and naming conventions.
 """
 
 from __future__ import annotations
@@ -171,6 +178,63 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _load_stream(path: str, label: str):
+    """Load a JSONL stream for trace analysis, or (None, rc) on failure."""
+    from repro.exceptions import ObservabilityError
+    from repro.obs import read_jsonl
+
+    try:
+        return read_jsonl(path), 0
+    except (OSError, ObservabilityError) as exc:
+        print(f"tecfan trace: cannot load {label} {path}: {exc}",
+              file=sys.stderr)
+        return None, 2
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis import tracetools
+
+    if args.trace_command == "diff":
+        a, rc = _load_stream(args.baseline, "baseline")
+        if a is None:
+            return rc
+        b, rc = _load_stream(args.candidate, "candidate")
+        if b is None:
+            return rc
+        diff = tracetools.diff_streams(
+            a,
+            b,
+            span_threshold_pct=args.span_threshold_pct,
+            counter_threshold_pct=args.counter_threshold_pct,
+            min_total_ms=args.min_total_ms,
+        )
+        print(tracetools.format_trace_diff(diff))
+        return 0 if diff.ok else 1
+
+    if args.trace_command == "flame":
+        parsed, rc = _load_stream(args.stream, "stream")
+        if parsed is None:
+            return rc
+        folded = tracetools.flame_folded(parsed)
+        if args.output is not None:
+            with open(args.output, "w") as fh:
+                fh.write(folded)
+            print(f"trace flame: wrote {args.output}", file=sys.stderr)
+        else:
+            print(folded, end="")
+        return 0
+
+    # anomalies
+    parsed, rc = _load_stream(args.stream, "stream")
+    if parsed is None:
+        return rc
+    anomalies = tracetools.detect_anomalies(
+        parsed, threshold_c=args.threshold
+    )
+    print(tracetools.format_anomalies(anomalies))
+    return 1 if (args.strict and anomalies) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``tecfan`` console script."""
     parser = argparse.ArgumentParser(
@@ -183,6 +247,21 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         default=None,
         help="record a telemetry session and write its JSONL stream here",
+    )
+    common.add_argument(
+        "--telemetry-stream",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry events to PATH incrementally (bounded "
+        "memory; manifest and aggregates are appended on exit)",
+    )
+    common.add_argument(
+        "--telemetry-rotate-mb",
+        type=float,
+        metavar="MB",
+        default=None,
+        help="with --telemetry-stream, rotate to a new .partNNN file "
+        "once the current part exceeds MB megabytes",
     )
     # Experiment fan-out (policy suites): worker process count.
     jobs_parent = argparse.ArgumentParser(add_help=False)
@@ -260,6 +339,68 @@ def main(argv: list[str] | None = None) -> int:
         "docs/ROBUSTNESS.md) injected into the profiled run; enables "
         "the thermal watchdog, health monitor and estimator fallback",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="analyze saved telemetry streams (diff / flame / anomalies)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tdiff = trace_sub.add_parser(
+        "diff",
+        help="span/counter deltas between two streams; nonzero exit on "
+        "regressions past the thresholds (CI gate)",
+    )
+    tdiff.add_argument("baseline", help="baseline JSONL stream (A)")
+    tdiff.add_argument("candidate", help="candidate JSONL stream (B)")
+    tdiff.add_argument(
+        "--span-threshold-pct",
+        type=float,
+        metavar="PCT",
+        default=10.0,
+        help="span total-time growth beyond PCT%% is a regression",
+    )
+    tdiff.add_argument(
+        "--counter-threshold-pct",
+        type=float,
+        metavar="PCT",
+        default=10.0,
+        help="counter growth beyond PCT%% is a regression",
+    )
+    tdiff.add_argument(
+        "--min-total-ms",
+        type=float,
+        metavar="MS",
+        default=1.0,
+        help="ignore spans under MS total in both streams (noise floor)",
+    )
+    tflame = trace_sub.add_parser(
+        "flame",
+        help="folded-stack output (flamegraph.pl / speedscope format) "
+        "reconstructed from the stream's span_edge records",
+    )
+    tflame.add_argument("stream", help="JSONL telemetry stream")
+    tflame.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write folded stacks here instead of stdout",
+    )
+    tanom = trace_sub.add_parser(
+        "anomalies",
+        help="scan interval events for thermal excursions, fan/TEC "
+        "oscillation and EPI drift",
+    )
+    tanom.add_argument("stream", help="JSONL telemetry stream")
+    tanom.add_argument(
+        "--threshold",
+        type=float,
+        metavar="C",
+        default=None,
+        help="thermal threshold [degC]; defaults to the t_threshold_c "
+        "recorded in the stream's manifest",
+    )
+    tanom.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any anomaly is detected",
+    )
 
     args = parser.parse_args(argv)
     # Resilience knobs travel by environment so every nested fan-out
@@ -282,12 +423,16 @@ def main(argv: list[str] | None = None) -> int:
         "hwcost": _cmd_hwcost,
         "quick": _cmd_quick,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
     }
     handler = dispatch[args.command]
 
     telemetry_path = getattr(args, "telemetry", None)
-    needs_session = telemetry_path is not None or (
-        args.command == "profile" and args.load is None
+    stream_path = getattr(args, "telemetry_stream", None)
+    needs_session = (
+        telemetry_path is not None
+        or stream_path is not None
+        or (args.command == "profile" and args.load is None)
     )
     if not needs_session:
         return handler(args)
@@ -295,11 +440,35 @@ def main(argv: list[str] | None = None) -> int:
     from repro.core.export import telemetry_to_jsonl
     from repro.obs import telemetry_session
 
+    exporter = None
+    if stream_path is not None:
+        from repro.obs import StreamingExporter
+
+        rotate_mb = getattr(args, "telemetry_rotate_mb", None)
+        exporter = StreamingExporter(
+            stream_path,
+            rotate_bytes=(
+                int(rotate_mb * 2**20) if rotate_mb is not None else None
+            ),
+        )
+
     with telemetry_session() as tel:
+        if exporter is not None:
+            exporter.attach(tel)
         tel.annotate(
             "command", list(argv) if argv is not None else sys.argv[1:]
         )
-        rc = handler(args)
+        try:
+            rc = handler(args)
+        finally:
+            if exporter is not None:
+                parts = exporter.close(tel)
+                print(
+                    f"telemetry: streamed {exporter.events_written} "
+                    f"event(s) across {len(parts)} part(s) to "
+                    f"{stream_path}",
+                    file=sys.stderr,
+                )
     if telemetry_path is not None:
         telemetry_to_jsonl(tel, telemetry_path)
         print(f"telemetry: wrote {telemetry_path}", file=sys.stderr)

@@ -221,6 +221,9 @@ class SimulationEngine:
         obs.annotate("engine_config", cfg)
         obs.annotate("workload", run.workload.name)
         obs.annotate("policy", controller.name)
+        # The trace analysis tools (``tecfan trace anomalies``) read the
+        # threshold back from the manifest to judge thermal excursions.
+        obs.annotate("t_threshold_c", self.problem.t_threshold_c)
         # Pre-register the contract counters (docs/OBSERVABILITY.md) so
         # exports always carry them, even at zero.
         for counter in (
@@ -491,7 +494,13 @@ class SimulationEngine:
                 # pay one is-None check per interval) ----------------------
                 if trace is not None and obs.get_telemetry() is not None:
                     self._record_interval(
-                        state, new_state, t_comp_c, p_chip, time_s - dt, dt
+                        state,
+                        new_state,
+                        t_comp_c,
+                        p_chip,
+                        float(ips_cores.sum()),
+                        time_s - dt,
+                        dt,
                     )
                 state = new_state
 
@@ -515,6 +524,7 @@ class SimulationEngine:
         new_state: ActuatorState,
         t_comp_c: np.ndarray,
         p_chip_w: float,
+        ips_chip: float,
         time_s: float,
         dt_s: float,
     ) -> None:
@@ -545,6 +555,7 @@ class SimulationEngine:
             dt_s=dt_s,
             peak_temp_c=peak_c,
             p_chip_w=float(p_chip_w),
+            ips_chip=ips_chip,
             tec_on=int(new_state.tec_on_count),
             fan_level=int(new_state.fan_level),
             mean_dvfs_level=float(np.mean(new_state.dvfs)),

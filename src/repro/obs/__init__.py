@@ -12,7 +12,11 @@ The ``repro.obs`` package is the reproduction's telemetry substrate
 - :mod:`~repro.obs.manifest` — run manifests (version, git SHA, config,
   timing/metric snapshot);
 - :mod:`~repro.obs.exporters` — JSONL stream writer/reader and the
-  profile summary renderer.
+  profile summary renderer;
+- :mod:`~repro.obs.merge` — picklable worker-session capture for the
+  parallel fan-out (aggregates merge back via :meth:`Telemetry.merge`);
+- :mod:`~repro.obs.streaming` — :class:`StreamingExporter`, incremental
+  JSONL export with bounded memory and optional rotation.
 
 Telemetry is **off by default**: every hook degrades to a global
 ``is None`` check, so instrumented hot paths behave identically — and
@@ -33,7 +37,15 @@ from repro.obs.exporters import (
     telemetry_records,
     write_jsonl,
 )
-from repro.obs.manifest import MANIFEST_SCHEMA, build_manifest, git_sha, jsonable
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    SUPPORTED_SCHEMAS,
+    build_manifest,
+    git_sha,
+    jsonable,
+)
+from repro.obs.merge import WorkerTelemetry, capture_worker_telemetry
+from repro.obs.streaming import StreamingExporter, read_stream_parts
 from repro.obs.metrics import (
     DEFAULT_MS_BUCKETS,
     Counter,
@@ -62,9 +74,14 @@ __all__ = [
     "telemetry_records",
     "write_jsonl",
     "MANIFEST_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "build_manifest",
     "git_sha",
     "jsonable",
+    "WorkerTelemetry",
+    "capture_worker_telemetry",
+    "StreamingExporter",
+    "read_stream_parts",
     "DEFAULT_MS_BUCKETS",
     "Counter",
     "Gauge",

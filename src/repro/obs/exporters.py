@@ -19,12 +19,21 @@ import json
 from pathlib import Path
 
 from repro.exceptions import ObservabilityError
-from repro.obs.manifest import build_manifest
+from repro.obs.manifest import SUPPORTED_SCHEMAS, build_manifest
 from repro.obs.telemetry import Telemetry
 
 
-def telemetry_records(tel: Telemetry, manifest: dict | None = None) -> list[dict]:
-    """The typed record sequence of one session (manifest first)."""
+def telemetry_records(
+    tel: Telemetry,
+    manifest: dict | None = None,
+    include_events: bool = True,
+) -> list[dict]:
+    """The typed record sequence of one session (manifest first).
+
+    ``include_events=False`` emits aggregates only — the tail a
+    :class:`~repro.obs.streaming.StreamingExporter` appends after having
+    already flushed the events incrementally.
+    """
     if manifest is None:
         manifest = build_manifest(tel)
     records: list[dict] = [{"type": "manifest", **manifest}]
@@ -39,8 +48,9 @@ def telemetry_records(tel: Telemetry, manifest: dict | None = None) -> list[dict
         records.append({"type": "gauge", "name": name, "value": value})
     for name, hist in snap["histograms"].items():
         records.append({"type": "histogram", "name": name, **hist})
-    for ev in tel.events:
-        records.append({"type": "event", **ev})
+    if include_events:
+        for ev in tel.events:
+            records.append({"type": "event", **ev})
     return records
 
 
@@ -80,6 +90,7 @@ def read_jsonl(source: str | Path) -> dict:
         text = str(source)
     out: dict = {
         "manifest": None,
+        "stream_header": None,
         "spans": {},
         "span_edges": [],
         "counters": {},
@@ -97,8 +108,9 @@ def read_jsonl(source: str | Path) -> dict:
                 f"telemetry stream line {lineno} is not valid JSON"
             ) from exc
         kind = rec.pop("type", None)
-        if kind == "manifest":
-            out["manifest"] = rec
+        if kind in ("manifest", "stream_header"):
+            _check_schema(rec, kind, lineno)
+            out[kind] = rec
         elif kind == "span":
             out["spans"][rec.pop("name")] = rec
         elif kind == "span_edge":
@@ -116,6 +128,29 @@ def read_jsonl(source: str | Path) -> dict:
                 f"telemetry stream line {lineno} has unknown type {kind!r}"
             )
     return out
+
+
+def _check_schema(rec: dict, kind: str, lineno: int) -> None:
+    """Reject streams this build cannot interpret, loudly and early.
+
+    A missing or unknown ``schema`` in a manifest/header means the
+    stream was written by an incompatible (likely newer) build; raising
+    :class:`ObservabilityError` here is what turns the raw ``KeyError``
+    a consumer would hit into the clean CLI message the profile/trace
+    commands print.
+    """
+    schema = rec.get("schema")
+    if schema is None:
+        raise ObservabilityError(
+            f"telemetry stream line {lineno}: {kind} record has no "
+            "schema version (truncated or foreign stream?)"
+        )
+    if schema not in SUPPORTED_SCHEMAS:
+        supported = ", ".join(str(s) for s in SUPPORTED_SCHEMAS)
+        raise ObservabilityError(
+            f"telemetry stream line {lineno}: {kind} schema version "
+            f"{schema!r} is not supported by this build (reads: {supported})"
+        )
 
 
 def profile_summary(source: Telemetry | dict) -> str:
@@ -136,6 +171,7 @@ def profile_summary(source: Telemetry | dict) -> str:
             "counters": snap["counters"],
             "gauges": snap["gauges"],
             "histograms": snap["histograms"],
+            "events_dropped": source.events_dropped,
         }
     else:
         grouped = source

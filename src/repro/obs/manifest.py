@@ -21,7 +21,13 @@ import numpy as np
 from repro.obs.telemetry import Telemetry
 
 #: Bumped whenever the manifest/JSONL record layout changes.
-MANIFEST_SCHEMA: int = 1
+#: Schema 2 added streaming (``stream_header`` records, ``events_streamed``)
+#: and the merged-worker fields (``worker=N`` span-edge labels,
+#: ``parallel.worker_*`` counters, ``*.max`` gauge companions).
+MANIFEST_SCHEMA: int = 2
+
+#: Stream schema versions this build can read back.
+SUPPORTED_SCHEMAS: tuple[int, ...] = (1, 2)
 
 
 def git_sha(cwd: str | Path | None = None) -> str | None:
@@ -98,6 +104,7 @@ def build_manifest(tel: Telemetry, extra: dict | None = None) -> dict:
         "platform": platform.platform(),
         "context": jsonable(tel.context),
         "events_recorded": len(tel.events),
+        "events_streamed": tel.events_streamed,
         "events_dropped": tel.events_dropped,
         "telemetry": tel.snapshot(),
     }

@@ -113,6 +113,28 @@ class Histogram:
             "max": self.max,
         }
 
+    def merge(self, other: dict) -> None:
+        """Fold another histogram's snapshot (same edges) into this one.
+
+        ``other`` is the :meth:`to_dict` form. Bucket-wise sums are only
+        meaningful over identical edges, so any mismatch is an
+        :class:`ObservabilityError` rather than a silent re-bucketing.
+        """
+        edges = tuple(float(e) for e in other["edges"])
+        if edges != self.edges:
+            raise ObservabilityError(
+                f"histogram {self.name!r} merge with different edges: "
+                f"{edges} vs {self.edges}"
+            )
+        for i, c in enumerate(other["counts"]):
+            self.counts[i] += int(c)
+        count = int(other["count"])
+        self.count += count
+        self.total += float(other["total"])
+        if count:
+            self.min = min(self.min, float(other["min"]))
+            self.max = max(self.max, float(other["max"]))
+
 
 @dataclass
 class MetricsRegistry:
@@ -158,6 +180,45 @@ class MetricsRegistry:
                 f"histogram {name!r} re-registered with different edges"
             )
         return h
+
+    # ------------------------------------------------------------------
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process aggregation semantics (``docs/OBSERVABILITY.md``):
+
+        * **counters sum** — the merged count is the fleet-wide total;
+        * **gauges take the last writer**, and a ``<name>.max`` companion
+          gauge keeps the maximum ever merged so a transient extreme in
+          one worker is not erased by the next merge (incoming ``*.max``
+          gauges fold by max, so merges nest);
+        * **histograms require identical bucket edges** and sum
+          bucket-wise (:meth:`Histogram.merge`).
+
+        Merging is associative and, for counters and histograms,
+        commutative — the properties the worker fan-out relies on.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in sorted(snapshot.get("gauges", {}).items()):
+            if name.endswith(".max"):
+                base = self._gauges.get(name)
+                peak = value if base is None else max(base.value, value)
+                self.gauge(name).set(peak)
+                continue
+            companion = f"{name}.max"
+            previous = self._gauges.get(name)
+            peak = value
+            if previous is not None:
+                peak = max(peak, previous.value)
+            existing_max = self._gauges.get(companion)
+            if existing_max is not None:
+                peak = max(peak, existing_max.value)
+            self.gauge(name).set(value)
+            self.gauge(companion).set(peak)
+        for name, hist in snapshot.get("histograms", {}).items():
+            edges = tuple(float(e) for e in hist["edges"])
+            self.histogram(name, edges).merge(hist)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

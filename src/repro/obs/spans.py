@@ -99,6 +99,45 @@ class SpanTracker:
         """Number of currently-open spans."""
         return len(self._stack)
 
+    def merge(
+        self,
+        stats: dict,
+        edges: list[dict] | None = None,
+        label: str | None = None,
+    ) -> None:
+        """Fold another tracker's snapshot into this one.
+
+        ``stats`` is the :meth:`snapshot` form (name -> aggregate dict)
+        and ``edges`` the :meth:`edge_snapshot` form. Per-name aggregates
+        sum (count/total/self; min/max fold). When ``label`` is given —
+        the ``worker=N`` tag of a fan-out merge — the incoming *root*
+        edges are re-parented under a synthetic ``label`` node, so the
+        reconstructed call tree keeps each worker's subtree separable
+        while the per-name stats still aggregate fleet-wide.
+        """
+        for name, st in stats.items():
+            mine = self.stats.get(name)
+            if mine is None:
+                mine = self.stats[name] = SpanStats(name=name)
+            count = int(st["count"])
+            mine.count += count
+            mine.total_s += float(st["total_s"])
+            mine.self_s += float(st.get("self_s", 0.0))
+            if count:
+                mine.min_s = min(mine.min_s, float(st["min_s"]))
+                mine.max_s = max(mine.max_s, float(st["max_s"]))
+        relabelled = 0
+        for rec in edges or []:
+            parent, child, count = rec["parent"], rec["child"], rec["count"]
+            if parent is None and label is not None:
+                parent = label
+                relabelled += count
+            edge = (parent, child)
+            self.edges[edge] = self.edges.get(edge, 0) + count
+        if label is not None and relabelled:
+            root = (None, label)
+            self.edges[root] = self.edges.get(root, 0) + relabelled
+
     def snapshot(self) -> dict:
         """``{name: aggregate-dict}`` for every completed span."""
         return {name: st.to_dict() for name, st in sorted(self.stats.items())}

@@ -1,0 +1,233 @@
+"""Incremental JSONL telemetry export with bounded memory.
+
+:func:`repro.obs.write_jsonl` serializes a session *after* the run — it
+needs every event resident, which is exactly wrong for production-scale
+runs (hours of 2 ms intervals blow straight past ``MAX_EVENTS``). The
+:class:`StreamingExporter` inverts that: it plugs into a
+:class:`~repro.obs.telemetry.Telemetry` as the ``event_sink``, flushes
+interval events to disk in small batches as they are emitted, and
+appends the manifest plus all span/metric aggregates when the session
+closes. Memory stays O(``flush_every``) regardless of run length, and a
+crashed run still leaves every flushed event on disk behind a
+``stream_header`` record identifying the schema.
+
+Optional size-based rotation splits the stream into numbered part
+files (``run.jsonl``, ``run.part001.jsonl``, ...): each part re-opens
+with its own header, and the final part carries the manifest and
+aggregates. :func:`repro.obs.read_jsonl` accepts any part (records are
+typed, not positional); :func:`read_stream_parts` re-groups the whole
+set.
+
+Usage::
+
+    from repro.obs import Telemetry, telemetry_session
+    from repro.obs.streaming import StreamingExporter
+
+    with StreamingExporter("run.jsonl", rotate_bytes=64 << 20) as exp:
+        tel = exp.attach(Telemetry())
+        with telemetry_session(tel):
+            engine.run(run, controller)   # events stream to disk
+    # exp.close() ran on exit: manifest + aggregates appended.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.exceptions import ObservabilityError
+from repro.obs.manifest import MANIFEST_SCHEMA, build_manifest
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["StreamingExporter", "read_stream_parts"]
+
+
+class StreamingExporter:
+    """Flush telemetry events to a JSONL stream as they happen.
+
+    Parameters
+    ----------
+    path:
+        The stream path (first part; rotation derives sibling names).
+    flush_every:
+        Events buffered between writes. Small enough that a crash loses
+        at most a batch, large enough to amortize the encode+write.
+    rotate_bytes:
+        Rotate to a new part once the current file passes this size
+        (``None`` disables rotation). Checked at flush granularity, so
+        parts overshoot by at most one batch.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        flush_every: int = 256,
+        rotate_bytes: int | None = None,
+    ):
+        if flush_every < 1:
+            raise ObservabilityError("flush_every must be >= 1")
+        if rotate_bytes is not None and rotate_bytes < 1:
+            raise ObservabilityError("rotate_bytes must be >= 1 (or None)")
+        self.path = Path(path)
+        self.flush_every = int(flush_every)
+        self.rotate_bytes = rotate_bytes
+        #: Every part written, in order (``paths[0]`` is ``path``).
+        self.paths: list[Path] = []
+        self.events_written = 0
+        self.bytes_written = 0
+        self._pending: list[str] = []
+        self._part_bytes = 0
+        self._fh = None
+        self._tel: Telemetry | None = None
+        self._closed = False
+        self._open_part()
+
+    # ------------------------------------------------------------------
+    def attach(self, tel: Telemetry) -> Telemetry:
+        """Wire a session's events into this stream; returns the session."""
+        tel.event_sink = self.write_event
+        self._tel = tel
+        return tel
+
+    def write_event(self, record: dict) -> None:
+        """Buffer one event record; flushes every ``flush_every`` events."""
+        if self._closed:
+            raise ObservabilityError(
+                f"telemetry stream {self.path} is closed"
+            )
+        self._pending.append(
+            json.dumps({"type": "event", **record}, sort_keys=True)
+        )
+        self.events_written += 1
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered events out; rotate first if the part is full."""
+        if not self._pending:
+            return
+        if (
+            self.rotate_bytes is not None
+            and self._part_bytes >= self.rotate_bytes
+        ):
+            self._next_part()
+        self._write_lines(self._pending)
+        self._pending = []
+
+    def close(self, tel: Telemetry | None = None, extra: dict | None = None):
+        """Flush, append the manifest + aggregates, and close the file.
+
+        ``tel`` defaults to the :meth:`attach`-ed session; with no
+        session at all only the buffered events are flushed. ``extra``
+        merges into the manifest (e.g. the CLI command line). Returns
+        the list of part paths. Idempotent.
+        """
+        if self._closed:
+            return self.paths
+        self.flush()
+        tel = tel if tel is not None else self._tel
+        if tel is not None:
+            stream_extra = {
+                "events_streamed": self.events_written,
+                "stream_parts": [str(p) for p in self.paths],
+            }
+            if extra:
+                stream_extra.update(extra)
+            manifest = build_manifest(tel, extra=stream_extra)
+            # Local import: exporters imports nothing from here, but
+            # keeping the record layout in one place matters more than
+            # the top-level import aesthetics.
+            from repro.obs.exporters import telemetry_records
+
+            records = telemetry_records(
+                tel, manifest=manifest, include_events=False
+            )
+            self._write_lines(
+                json.dumps(rec, sort_keys=True) for rec in records
+            )
+            if getattr(tel.event_sink, "__self__", None) is self:
+                tel.event_sink = None
+        self._fh.close()
+        self._fh = None
+        self._closed = True
+        return self.paths
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "StreamingExporter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def _open_part(self) -> None:
+        if self.paths:
+            n = len(self.paths)
+            part = self.path.with_name(
+                f"{self.path.stem}.part{n:03d}{self.path.suffix}"
+            )
+        else:
+            part = self.path
+        self.paths.append(part)
+        self._fh = open(part, "w")
+        self._part_bytes = 0
+        header = json.dumps(
+            {
+                "type": "stream_header",
+                "schema": MANIFEST_SCHEMA,
+                "part": len(self.paths) - 1,
+                "created_unix": time.time(),
+            },
+            sort_keys=True,
+        )
+        self._write_lines([header])
+
+    def _next_part(self) -> None:
+        self._fh.close()
+        self._open_part()
+
+    def _write_lines(self, lines) -> None:
+        text = "\n".join(lines) + "\n"
+        self._fh.write(text)
+        self._fh.flush()
+        self._part_bytes += len(text)
+        self.bytes_written += len(text)
+
+
+def read_stream_parts(paths) -> dict:
+    """Group a rotated part set back into one aggregate view.
+
+    ``paths`` is an iterable of part paths (any order; sorted by the
+    header's part index). Events concatenate in stream order; the
+    manifest and aggregates come from whichever part carries them (the
+    final one, for a cleanly closed stream).
+    """
+    from repro.obs.exporters import read_jsonl
+
+    parsed = [read_jsonl(Path(p)) for p in paths]
+    parsed.sort(
+        key=lambda g: (g.get("stream_header") or {}).get("part", 0)
+    )
+    out: dict = {
+        "manifest": None,
+        "stream_header": None,
+        "spans": {},
+        "span_edges": [],
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "events": [],
+    }
+    for group in parsed:
+        out["events"].extend(group["events"])
+        if out["stream_header"] is None:
+            out["stream_header"] = group.get("stream_header")
+        if group["manifest"] is not None:
+            out["manifest"] = group["manifest"]
+            for key in ("spans", "counters", "gauges", "histograms"):
+                out[key] = group[key]
+            out["span_edges"] = group["span_edges"]
+    return out

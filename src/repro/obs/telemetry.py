@@ -95,6 +95,14 @@ class Telemetry:
     #: workload/policy names, run metrics, ...).
     context: dict = field(default_factory=dict)
     events_dropped: int = 0
+    #: Optional event consumer (e.g. a
+    #: :class:`repro.obs.streaming.StreamingExporter`'s ``write_event``).
+    #: When set, events are handed to the sink instead of retained, so
+    #: memory stays bounded for arbitrarily long runs; ``MAX_EVENTS``
+    #: does not apply on the sink path.
+    event_sink: object = None
+    #: Events handed to ``event_sink`` (not retained in ``events``).
+    events_streamed: int = 0
     created_unix: float = field(default_factory=time.time)
     _t0: float = field(default_factory=time.perf_counter, repr=False)
 
@@ -111,12 +119,16 @@ class Telemetry:
         """Record one structured event (if event recording is on)."""
         if not self.record_events:
             return
-        if len(self.events) >= MAX_EVENTS:
+        if self.event_sink is None and len(self.events) >= MAX_EVENTS:
             self.events_dropped += 1
             return
         record = {"kind": kind, "t_rel_s": time.perf_counter() - self._t0}
         record.update(fields)
-        self.events.append(record)
+        if self.event_sink is not None:
+            self.event_sink(record)
+            self.events_streamed += 1
+        else:
+            self.events.append(record)
 
     def annotate(self, key: str, value) -> None:
         """Attach one context entry (reported in the run manifest)."""
@@ -132,6 +144,43 @@ class Telemetry:
         out.update(self.metrics.snapshot())
         return out
 
+    def merge(self, worker, label: str | None = None) -> "Telemetry":
+        """Fold a worker session's aggregates into this session.
+
+        ``worker`` is a :class:`repro.obs.merge.WorkerTelemetry` capture
+        (or another :class:`Telemetry`, captured on the fly). Counters
+        sum, gauges take the last writer with a ``*.max`` companion,
+        histograms require identical edges, and span stats sum — with
+        the worker's root spans re-parented under ``label`` (the
+        ``worker=N`` tag) so the merged call tree keeps per-worker
+        subtrees. Worker events are *not* merged (aggregates only ship
+        across the process boundary); they are accounted in the
+        ``parallel.worker_events_dropped`` counter by the fan-out.
+        Returns ``self`` so merges chain.
+        """
+        from repro.obs.merge import WorkerTelemetry, capture_worker_telemetry
+
+        if isinstance(worker, Telemetry):
+            worker = capture_worker_telemetry(worker)
+        if not isinstance(worker, WorkerTelemetry):
+            raise TypeError(
+                f"cannot merge {type(worker).__name__!r} into a Telemetry "
+                "session (expected WorkerTelemetry or Telemetry)"
+            )
+        self.spans.merge(worker.spans, worker.span_edges, label=label)
+        self.metrics.merge(
+            {
+                "counters": worker.counters,
+                "gauges": worker.gauges,
+                "histograms": worker.histograms,
+            }
+        )
+        if worker.context:
+            workers = self.context.setdefault("workers", {})
+            key = label if label is not None else f"worker={len(workers)}"
+            workers[key] = worker.context
+        return self
+
     def reset(self) -> None:
         """Drop every recording (aggregates, events, context)."""
         self.spans.reset()
@@ -139,6 +188,7 @@ class Telemetry:
         self.events.clear()
         self.context.clear()
         self.events_dropped = 0
+        self.events_streamed = 0
 
 
 # ----------------------------------------------------------------------

@@ -32,9 +32,17 @@ Design rules:
   pool fast path runs unchanged. ``parallel.retries`` and
   ``parallel.timeouts`` counters make degraded sweeps observable.
 
-Telemetry note: worker processes see the module-level no-op telemetry
-hooks unless they install their own session; counters incremented inside
-workers do **not** aggregate into the parent's session.
+Telemetry note: when the parent has an active telemetry session, every
+worker installs its own :class:`repro.obs.Telemetry` around its task and
+ships the session's aggregates back alongside the result
+(:mod:`repro.obs.merge`); the parent folds them in via
+:meth:`Telemetry.merge` under a ``worker=<task index>`` span-edge label.
+Counters incremented inside workers therefore **do** aggregate into the
+parent's session — a ``--jobs N`` sweep's merged counters equal the
+serial run's exactly for every deterministic counter. Worker *events*
+are not shipped (aggregates only); they are accounted in the
+``parallel.worker_events_dropped`` counter, and each merged session
+increments ``parallel.worker_sessions``.
 """
 
 from __future__ import annotations
@@ -129,12 +137,34 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _invoke(fn: Callable, index: int, payload) -> tuple:
-    """Worker-side wrapper: never lets an exception escape unpickled."""
+def _invoke(fn: Callable, index: int, payload, capture: bool) -> tuple:
+    """Worker-side wrapper: never lets an exception escape unpickled.
+
+    With ``capture`` (the parent had an active telemetry session), the
+    task runs under its own worker session and the fourth slot carries
+    the picklable aggregate capture; otherwise it is ``None``.
+    """
     try:
-        return (index, True, fn(payload))
+        if capture:
+            from repro.obs.merge import run_captured
+
+            result, wtel = run_captured(fn, payload)
+            return (index, True, result, wtel)
+        return (index, True, fn(payload), None)
     except BaseException:
-        return (index, False, traceback.format_exc())
+        return (index, False, traceback.format_exc(), None)
+
+
+def _merge_worker(index: int, wtel) -> None:
+    """Fold one worker capture into the parent's active session."""
+    tel = obs.get_telemetry()
+    if tel is None or wtel is None:
+        return
+    tel.merge(wtel, label=f"worker={index}")
+    tel.metrics.counter("parallel.worker_sessions").inc(1)
+    tel.metrics.counter("parallel.worker_events_dropped").inc(
+        wtel.events_discarded
+    )
 
 
 def parallel_map(
@@ -200,11 +230,14 @@ def parallel_map(
     if n <= 1 or len(payloads) <= 1:
         return _serial_map(fn, payloads, retries, backoff_s, on_error)
 
+    # Worker telemetry capture: only when the parent has a session to
+    # merge into (otherwise workers skip the wrapper entirely).
+    capture = obs.get_telemetry() is not None
     if timeout_s is None and retries == 0 and on_error == "raise":
         # Classic fast path: one long-lived pool, no per-task process.
-        return _pool_map(fn, payloads, n)
+        return _pool_map(fn, payloads, n, capture)
     return _resilient_map(
-        fn, payloads, n, timeout_s, retries, backoff_s, on_error
+        fn, payloads, n, timeout_s, retries, backoff_s, on_error, capture
     )
 
 
@@ -249,7 +282,7 @@ def _serial_map(
     return results
 
 
-def _pool_map(fn: Callable, payloads: list, n: int) -> list:
+def _pool_map(fn: Callable, payloads: list, n: int, capture: bool) -> list:
     """The zero-resilience fast path (original pool semantics)."""
     results: list = [None] * len(payloads)
     failures: list = []
@@ -258,12 +291,16 @@ def _pool_map(fn: Callable, payloads: list, n: int) -> list:
         max_workers=min(n, len(payloads)), mp_context=ctx
     ) as pool:
         futures = [
-            pool.submit(_invoke, fn, i, p) for i, p in enumerate(payloads)
+            pool.submit(_invoke, fn, i, p, capture)
+            for i, p in enumerate(payloads)
         ]
+        # Iterating in submission order also merges worker telemetry in
+        # task order, keeping last-writer gauge merges deterministic.
         for fut in futures:
-            index, ok, value = fut.result()
+            index, ok, value, wtel = fut.result()
             if ok:
                 results[index] = value
+                _merge_worker(index, wtel)
             else:
                 failures.append((index, value))
     if failures:
@@ -272,12 +309,18 @@ def _pool_map(fn: Callable, payloads: list, n: int) -> list:
     return results
 
 
-def _pipe_invoke(conn, fn: Callable, payload) -> None:
+def _pipe_invoke(conn, fn: Callable, payload, capture: bool) -> None:
     """Resilient-path worker body: report through the pipe, then exit."""
     try:
-        result = (True, fn(payload))
+        if capture:
+            from repro.obs.merge import run_captured
+
+            value, wtel = run_captured(fn, payload)
+            result = (True, value, wtel)
+        else:
+            result = (True, fn(payload), None)
     except BaseException:
-        result = (False, traceback.format_exc())
+        result = (False, traceback.format_exc(), None)
     try:
         conn.send(result)
     except BaseException:
@@ -305,6 +348,7 @@ def _resilient_map(
     retries: int,
     backoff_s: float,
     on_error: str,
+    capture: bool,
 ) -> list:
     """Per-task processes with deadline kill, retry, partial results.
 
@@ -317,6 +361,9 @@ def _resilient_map(
     ctx = mp.get_context("spawn")
     results: list = [None] * len(payloads)
     failures: list[tuple[int, str]] = []
+    # Worker captures keyed by task index: completion order is
+    # nondeterministic, so merging is deferred and done in index order.
+    captured: dict[int, object] = {}
     # (index, attempt, not_before) — FIFO except for backoff holds.
     queue: deque = deque(
         (i, 0, 0.0) for i in range(len(payloads))
@@ -353,7 +400,7 @@ def _resilient_map(
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_pipe_invoke,
-                    args=(child_conn, fn, payloads[index]),
+                    args=(child_conn, fn, payloads[index], capture),
                 )
                 proc.start()
                 child_conn.close()
@@ -391,13 +438,15 @@ def _resilient_map(
             for a in active:
                 if a.conn in ready:
                     try:
-                        ok, value = a.conn.recv()
+                        ok, value, wtel = a.conn.recv()
                     except (EOFError, OSError):
-                        ok, value = False, None
+                        ok, value, wtel = False, None, None
                     a.conn.close()
                     a.proc.join()
                     if ok:
                         results[a.index] = value
+                        if wtel is not None:
+                            captured[a.index] = wtel
                     elif value is not None:
                         settle(a.index, a.attempt, "error", value)
                     else:
@@ -428,6 +477,8 @@ def _resilient_map(
             a.proc.join()
             a.conn.close()
 
+    for index in sorted(captured):
+        _merge_worker(index, captured[index])
     if failures:
         failures.sort(key=lambda f: f[0])
         raise ParallelExecutionError(failures)

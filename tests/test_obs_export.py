@@ -5,6 +5,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro
 from repro.exceptions import ObservabilityError
@@ -97,6 +99,68 @@ def test_git_sha_degrades_to_none_outside_repo(tmp_path):
     sha = git_sha()  # this checkout
     assert sha is None or len(sha) == 40
     assert git_sha(cwd=tmp_path) is None
+
+
+def test_round_trip_preserves_histogram_overflow_bucket():
+    tel = Telemetry()
+    h = tel.metrics.histogram("lat.ms", (1.0, 2.0))
+    h.observe(0.5)
+    h.observe(1e9)  # lands in the implicit overflow bucket
+    parsed = read_jsonl(write_jsonl(tel))
+    hist = parsed["histograms"]["lat.ms"]
+    assert hist["counts"][-1] == 1
+    assert hist["counts"] == tel.snapshot()["histograms"]["lat.ms"]["counts"]
+    assert hist["max"] == 1e9
+
+
+def test_round_trip_reconstructs_span_edges():
+    tel = Telemetry()
+    with tel.span("run"):
+        for _ in range(3):
+            with tel.span("step"):
+                pass
+    parsed = read_jsonl(write_jsonl(tel))
+    edges = {
+        (e["parent"], e["child"]): e["count"]
+        for e in parsed["span_edges"]
+    }
+    assert edges == {(None, "run"): 1, ("run", "step"): 3}
+    # Every span start records exactly one incoming edge, so incoming
+    # counts reconstruct occurrence counts exactly.
+    for name, stats in parsed["spans"].items():
+        incoming = sum(c for (p, ch), c in edges.items() if ch == name)
+        assert incoming == stats["count"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fanout=st.lists(
+        st.dictionaries(
+            st.sampled_from(["task.calls", "task.units", "task.errors"]),
+            st.integers(min_value=1, max_value=50),
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_merged_worker_stream_round_trip_conserves_counters(fanout):
+    from repro.obs import capture_worker_telemetry
+
+    parent = Telemetry()
+    worker_streams = []
+    for i, counters in enumerate(fanout):
+        w = Telemetry()
+        for name, value in counters.items():
+            w.metrics.counter(name).inc(value)
+        worker_streams.append(read_jsonl(write_jsonl(w)))
+        parent.merge(capture_worker_telemetry(w), label=f"worker={i}")
+    merged = read_jsonl(write_jsonl(parent))
+    expected: dict[str, int] = {}
+    for stream in worker_streams:
+        for name, value in stream["counters"].items():
+            expected[name] = expected.get(name, 0) + value
+    assert merged["counters"] == expected
 
 
 def test_jsonable_coerces_awkward_values():

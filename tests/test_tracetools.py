@@ -1,0 +1,278 @@
+"""Trace analysis toolkit: diff gating, flame reconstruction, anomalies."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tracetools import (
+    detect_anomalies,
+    diff_streams,
+    flame_folded,
+    format_anomalies,
+    format_trace_diff,
+)
+from repro.cli import main
+from repro.obs import MANIFEST_SCHEMA
+
+
+def _stream(spans=None, counters=None, edges=None, events=None,
+            context=None):
+    return {
+        "manifest": {"schema": MANIFEST_SCHEMA, "context": context or {}},
+        "spans": spans or {},
+        "span_edges": edges or [],
+        "counters": counters or {},
+        "gauges": {},
+        "histograms": {},
+        "events": events or [],
+    }
+
+
+def _span(total_s, self_s=None):
+    return {"count": 1, "total_s": total_s, "mean_s": total_s,
+            "self_s": total_s if self_s is None else self_s,
+            "min_s": total_s, "max_s": total_s}
+
+
+# ----------------------------------------------------------------------
+# trace diff
+# ----------------------------------------------------------------------
+def test_identical_streams_diff_clean():
+    a = _stream(spans={"engine.step": _span(0.5)}, counters={"c": 10})
+    diff = diff_streams(a, a)
+    assert diff.ok
+    assert not any(r.regressed for r in diff.rows)
+    assert "no regressions" in format_trace_diff(diff)
+
+
+def test_span_regression_past_threshold_gates():
+    a = _stream(spans={"engine.step": _span(0.100)})
+    b = _stream(spans={"engine.step": _span(0.150)})
+    diff = diff_streams(a, b, span_threshold_pct=10.0)
+    assert not diff.ok
+    (row,) = diff.regressions
+    assert row.name == "engine.step"
+    assert row.pct == pytest.approx(50.0)
+    assert "REGRESSED" in format_trace_diff(diff)
+    # Improvements never gate.
+    assert diff_streams(b, a, span_threshold_pct=10.0).ok
+
+
+def test_noise_floor_suppresses_tiny_spans():
+    a = _stream(spans={"blip": _span(0.0001)})
+    b = _stream(spans={"blip": _span(0.0005)})  # +400%, but 0.5 ms total
+    assert diff_streams(a, b, min_total_ms=1.0).ok
+    assert not diff_streams(a, b, min_total_ms=0.01).ok
+
+
+def test_counter_growth_gates_but_new_counters_do_not():
+    a = _stream(counters={"hot": 100, "fresh": 0})
+    b = _stream(counters={"hot": 150, "fresh": 40, "brand_new": 5})
+    diff = diff_streams(a, b, counter_threshold_pct=10.0)
+    regressed = {r.name for r in diff.regressions}
+    assert regressed == {"hot"}  # zero-baseline and only-in-B are informational
+    assert "brand_new" in diff.only_b
+    rendered = format_trace_diff(diff)
+    assert "+inf" in rendered  # fresh: 0 -> 40 reported, not gated
+
+
+# ----------------------------------------------------------------------
+# trace flame
+# ----------------------------------------------------------------------
+def test_flame_folded_single_chain():
+    parsed = _stream(
+        spans={"root": _span(1.0, self_s=1.0), "a": _span(0.5, self_s=0.5)},
+        edges=[
+            {"parent": None, "child": "root", "count": 1},
+            {"parent": "root", "child": "a", "count": 2},
+        ],
+    )
+    lines = flame_folded(parsed).splitlines()
+    assert lines == ["root 1000000", "root;a 500000"]
+
+
+def test_flame_distributes_self_time_by_edge_fractions():
+    # c is reached 3 times via r1 and once via r2: its 0.4 s of self
+    # time splits 0.3 / 0.1 between the two paths.
+    parsed = _stream(
+        spans={
+            "r1": _span(1.0, self_s=0.0),
+            "r2": _span(1.0, self_s=0.0),
+            "c": _span(0.4, self_s=0.4),
+        },
+        edges=[
+            {"parent": None, "child": "r1", "count": 1},
+            {"parent": None, "child": "r2", "count": 1},
+            {"parent": "r1", "child": "c", "count": 3},
+            {"parent": "r2", "child": "c", "count": 1},
+        ],
+    )
+    lines = dict(
+        line.rsplit(" ", 1) for line in flame_folded(parsed).splitlines()
+    )
+    assert int(lines["r1;c"]) == 300000
+    assert int(lines["r2;c"]) == 100000
+
+
+def test_flame_tolerates_label_only_roots_and_cycles():
+    # worker=N labels have no span stats; merged streams can also fold
+    # recursion into an a->a edge — neither may crash or loop.
+    parsed = _stream(
+        spans={"task": _span(0.2, self_s=0.2)},
+        edges=[
+            {"parent": None, "child": "worker=0", "count": 1},
+            {"parent": "worker=0", "child": "task", "count": 1},
+            {"parent": "task", "child": "task", "count": 4},
+        ],
+    )
+    out = flame_folded(parsed)
+    assert "worker=0;task 200000" in out.splitlines()
+
+
+def test_flame_empty_stream_is_empty():
+    assert flame_folded(_stream()) == ""
+
+
+# ----------------------------------------------------------------------
+# trace anomalies
+# ----------------------------------------------------------------------
+def _interval(t, peak=80.0, fan=2, tec=0, p=50.0, ips=25e9):
+    return {"kind": "interval", "time_s": t, "peak_temp_c": peak,
+            "fan_level": fan, "tec_on": tec, "p_chip_w": p,
+            "ips_chip": ips}
+
+
+def test_thermal_excursion_detected_with_manifest_threshold():
+    events = [_interval(i * 0.002) for i in range(10)]
+    for i in (4, 5, 6):
+        events[i] = _interval(i * 0.002, peak=88.0)
+    parsed = _stream(events=events, context={"t_threshold_c": 85.0})
+    anomalies = detect_anomalies(parsed)
+    kinds = [a.kind for a in anomalies]
+    assert "thermal_excursion" in kinds
+    exc = next(a for a in anomalies if a.kind == "thermal_excursion")
+    assert exc.value == pytest.approx(88.0)
+    assert exc.t_start_s == pytest.approx(0.008)
+    assert exc.t_end_s == pytest.approx(0.012)
+
+
+def test_no_threshold_available_skips_thermal_scan():
+    events = [_interval(i * 0.002, peak=200.0) for i in range(10)]
+    parsed = _stream(events=events)  # no context, no --threshold
+    assert all(
+        a.kind != "thermal_excursion" for a in detect_anomalies(parsed)
+    )
+
+
+def test_oscillation_detected_on_fan_limit_cycle():
+    events = []
+    for i in range(24):
+        events.append(_interval(i * 0.002, fan=2 + (i % 2)))  # 2,3,2,3...
+    parsed = _stream(events=events)
+    anomalies = detect_anomalies(parsed)
+    osc = [a for a in anomalies if a.kind == "oscillation"]
+    assert len(osc) == 1
+    assert osc[0].value >= 6
+    assert "fan" in osc[0].detail
+
+
+def test_monotone_actuators_do_not_oscillate():
+    events = [_interval(i * 0.002, fan=min(4, 1 + i // 3)) for i in range(24)]
+    parsed = _stream(events=events)
+    assert not [
+        a for a in detect_anomalies(parsed) if a.kind == "oscillation"
+    ]
+
+
+def test_epi_drift_detected():
+    events = [
+        _interval(i * 0.002, p=50.0 + (30.0 if i >= 8 else 0.0))
+        for i in range(16)
+    ]
+    parsed = _stream(events=events)
+    drift = [a for a in detect_anomalies(parsed) if a.kind == "epi_drift"]
+    assert len(drift) == 1
+    assert drift[0].value == pytest.approx(60.0)
+
+
+def test_epi_scan_skips_streams_without_ips_chip():
+    # Schema-1 streams predate the ips_chip event field.
+    events = [_interval(i * 0.002) for i in range(16)]
+    for ev in events:
+        del ev["ips_chip"]
+    parsed = _stream(events=events)
+    assert not [
+        a for a in detect_anomalies(parsed) if a.kind == "epi_drift"
+    ]
+
+
+def test_format_anomalies_all_clear():
+    assert "none detected" in format_anomalies([])
+
+
+# ----------------------------------------------------------------------
+# CLI wiring and exit codes
+# ----------------------------------------------------------------------
+def _write_stream(path, parsed):
+    records = [{"type": "manifest", **parsed["manifest"]}]
+    for name, stats in parsed["spans"].items():
+        records.append({"type": "span", "name": name, **stats})
+    for edge in parsed["span_edges"]:
+        records.append({"type": "span_edge", **edge})
+    for name, value in parsed["counters"].items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for ev in parsed["events"]:
+        records.append({"type": "event", **ev})
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+
+
+def test_cli_trace_diff_exit_codes(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    _write_stream(a, _stream(spans={"engine.step": _span(0.100)}))
+    _write_stream(b, _stream(spans={"engine.step": _span(0.200)}))
+    assert main(["trace", "diff", str(a), str(a)]) == 0
+    assert main(["trace", "diff", str(a), str(b)]) == 1
+    # A generous threshold un-gates the same pair.
+    assert main(
+        ["trace", "diff", str(a), str(b), "--span-threshold-pct", "150"]
+    ) == 0
+    assert main(["trace", "diff", str(a), str(tmp_path / "nope.jsonl")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_trace_flame_writes_folded_file(tmp_path, capsys):
+    src = tmp_path / "run.jsonl"
+    _write_stream(
+        src,
+        _stream(
+            spans={"root": _span(1.0)},
+            edges=[{"parent": None, "child": "root", "count": 1}],
+        ),
+    )
+    out = tmp_path / "folded.txt"
+    assert main(["trace", "flame", str(src), "-o", str(out)]) == 0
+    capsys.readouterr()
+    # Folded-stack grammar: "frame(;frame)* <positive int>" per line.
+    for line in out.read_text().splitlines():
+        stack, value = line.rsplit(" ", 1)
+        assert stack and int(value) > 0
+
+
+def test_cli_trace_anomalies_strict_gate(tmp_path, capsys):
+    hot = tmp_path / "hot.jsonl"
+    events = [_interval(i * 0.002, peak=90.0) for i in range(10)]
+    _write_stream(
+        hot, _stream(events=events, context={"t_threshold_c": 85.0})
+    )
+    assert main(["trace", "anomalies", str(hot)]) == 0
+    assert main(["trace", "anomalies", str(hot), "--strict"]) == 1
+    assert main(
+        ["trace", "anomalies", str(hot), "--strict", "--threshold", "95"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "thermal_excursion" in out
