@@ -1,0 +1,219 @@
+"""Benchmark: interval-kernel fast path vs the classic engine loop.
+
+Measures the two layers the interval kernel adds (docs/PERFORMANCE.md):
+
+1. **Quiescent fast-forwarding** — a quiescent-heavy run (single-phase
+   noise-free workload, so every interval after thermal settling is
+   skippable) through the classic loop and through
+   ``EngineConfig(interval_kernel=True)``. Decision equivalence is
+   asserted on every trace row: identical actuator decisions and
+   timestamps, temperatures/powers within 1e-6. The full run gates the
+   speedup at >= 3x — the acceptance floor for this subsystem.
+2. **Woodbury low-rank corrections** — controller-realistic
+   single-device TEC toggle walks against the steady-state solver, with
+   and without ``use_woodbury``. Correctness is asserted (<= 1e-6 K vs
+   full refactorization); the speedup is reported but not gated, since
+   it depends on chip size and walk shape.
+
+Run directly (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_interval_kernel.py
+    PYTHONPATH=src python benchmarks/bench_interval_kernel.py --smoke
+
+The full run writes ``benchmarks/results/BENCH_interval_kernel.json``
+— the tracked perf baseline; refresh it whenever the interval kernel
+changes. ``--smoke`` is the CI configuration: a tiny chip, decision
+equivalence and correctness assertions, printed speedups, no timing
+gate and no baseline rewrite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS_DIR / "BENCH_interval_kernel.json"
+
+TRACE_DECISION_FIELDS = ("time_s", "dt_s", "tec_on", "fan_level", "mean_dvfs_level")
+TRACE_PLANT_FIELDS = ("peak_temp_c", "p_chip_w", "p_cores_w", "p_tec_w", "ips_chip")
+
+
+def _quiescent_workload(n_tiles: int):
+    """Single-phase, noise-free, effectively endless: the fast path's
+    best case and the equivalence assertion's worst case (maximum
+    skipped decisions)."""
+    from repro.perf.workload import Workload
+
+    return Workload(
+        name="quiescent",
+        threads=n_tiles,
+        total_instructions=10**13,
+        ff_instructions=0,
+        ipc_at_ref=1.0,
+        activity=0.5,
+        active_tiles=tuple(range(n_tiles)),
+        activity_noise_sigma=0.0,
+    )
+
+
+def _run_once(system, max_time_s: float, *, interval_kernel: bool):
+    from repro.core.engine import EngineConfig, SimulationEngine
+    from repro.core.problem import EnergyProblem
+    from repro.core.state import ActuatorState
+    from repro.core.tecfan import TECfanController
+    from repro.perf.workload import WorkloadRun
+
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=80.0),
+        EngineConfig(max_time_s=max_time_s, interval_kernel=interval_kernel),
+    )
+    wl = _quiescent_workload(system.chip.n_tiles)
+    state = ActuatorState.initial(
+        system.n_tec_devices, system.n_cores, system.dvfs.max_level, fan_level=2
+    )
+    t0 = time.perf_counter()
+    result = engine.run(
+        WorkloadRun(wl, system.chip, 2.0),
+        TECfanController(),
+        initial_state=state,
+    )
+    return result, time.perf_counter() - t0
+
+
+def bench_fast_forward(system, max_time_s: float) -> dict:
+    """Classic vs interval-kernel engine run, decision equivalence
+    asserted row by row."""
+    classic, t_classic = _run_once(system, max_time_s, interval_kernel=False)
+    kernel, t_kernel = _run_once(system, max_time_s, interval_kernel=True)
+
+    a, b = classic.trace, kernel.trace
+    for f in TRACE_DECISION_FIELDS:
+        assert np.array_equal(getattr(a, f), getattr(b, f)), (
+            f"decision field {f} diverged"
+        )
+    for f in TRACE_PLANT_FIELDS:
+        assert np.allclose(getattr(a, f), getattr(b, f), rtol=0, atol=1e-6), (
+            f"plant field {f} drifted past 1e-6"
+        )
+    assert np.array_equal(classic.final_state.tec, kernel.final_state.tec)
+    assert np.array_equal(classic.final_state.dvfs, kernel.final_state.dvfs)
+    assert classic.final_state.fan_level == kernel.final_state.fan_level
+    assert classic.metrics.instructions == kernel.metrics.instructions
+
+    return {
+        "sim_time_s": max_time_s,
+        "intervals": int(a.time_s.size),
+        "classic_s": t_classic,
+        "kernel_s": t_kernel,
+        "speedup": t_classic / t_kernel if t_kernel > 0 else float("inf"),
+    }
+
+
+def bench_woodbury(system, n_steps: int) -> dict:
+    """Controller-realistic single-device toggle walk, exact vs
+    Woodbury-corrected steady-state solves."""
+    from repro.thermal.steady_state import SteadyStateSolver
+
+    rng = np.random.default_rng(3)
+    p = rng.uniform(0.5, 3.0, system.nodes.n_components)
+
+    def walk(solver):
+        v = np.zeros(solver.model.tec.n_devices)
+        walk_rng = np.random.default_rng(17)
+        out = []
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            d = walk_rng.integers(v.size)
+            v = v.copy()
+            v[d] = 1.0 - v[d]
+            out.append(solver.solve(p, 2, v))
+        return out, time.perf_counter() - t0
+
+    exact = SteadyStateSolver(system.cond, cache_size=8)
+    wb = SteadyStateSolver(system.cond, cache_size=8, use_woodbury=True)
+    a, t_exact = walk(exact)
+    b, t_wb = walk(wb)
+
+    assert wb.n_woodbury_solves > 0, "no Woodbury corrections served"
+    worst = max(float(np.max(np.abs(x - y))) for x, y in zip(a, b))
+    assert worst <= 1e-6, f"Woodbury drift {worst:.2e} K past 1e-6"
+
+    return {
+        "steps": n_steps,
+        "exact_s": t_exact,
+        "woodbury_s": t_wb,
+        "woodbury_solves": wb.n_woodbury_solves,
+        "woodbury_fallbacks": wb.n_woodbury_fallbacks,
+        "factorizations_exact": exact.n_factorizations,
+        "factorizations_woodbury": wb.n_factorizations,
+        "worst_drift_k": worst,
+        "speedup": t_exact / t_wb if t_wb > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny chip, correctness only, no baseline rewrite",
+    )
+    parser.add_argument("--sim-time", type=float, default=None)
+    parser.add_argument("--steps", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    from repro.core.system import build_system
+
+    if args.smoke:
+        system = build_system(rows=2, cols=2)
+        max_time_s = args.sim_time or 0.2
+        n_steps = args.steps or 30
+    else:
+        system = build_system()  # the paper's 16-core platform
+        max_time_s = args.sim_time or 2.0
+        n_steps = args.steps or 60
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "cores": system.n_cores,
+    }
+    ok = True
+
+    ff = bench_fast_forward(system, max_time_s)
+    report["fast_forward"] = ff
+    print(
+        f"fast-forward: {ff['intervals']} intervals, classic "
+        f"{ff['classic_s']:.2f} s, kernel {ff['kernel_s']:.2f} s "
+        f"-> {ff['speedup']:.2f}x"
+    )
+    if not args.smoke and ff["speedup"] < 3.0:
+        print(f"FAIL: fast-forward speedup {ff['speedup']:.2f}x < 3x")
+        ok = False
+
+    wb = bench_woodbury(system, n_steps)
+    report["woodbury"] = wb
+    print(
+        f"woodbury: {wb['steps']} toggle steps, exact {wb['exact_s']:.3f} s "
+        f"({wb['factorizations_exact']} factorizations), corrected "
+        f"{wb['woodbury_s']:.3f} s ({wb['factorizations_woodbury']} "
+        f"factorizations, {wb['woodbury_solves']} corrections) "
+        f"-> {wb['speedup']:.2f}x, drift {wb['worst_drift_k']:.1e} K"
+    )
+
+    if not args.smoke and ok:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BASELINE.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[saved to {BASELINE}]")
+    print("equivalence: OK (decisions identical, plant within tolerance)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,6 +133,11 @@ def _cmd_profile(args) -> int:
         return 2
 
     engine_kwargs = {}
+    if args.interval_kernel:
+        engine_kwargs["interval_kernel"] = True
+    if args.exact_kernel:
+        engine_kwargs["interval_kernel"] = True
+        engine_kwargs["exact_kernel"] = True
     if args.faults is not None:
         import json
 
@@ -338,6 +343,19 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON fault script (list of {kind, ...} dicts, see "
         "docs/ROBUSTNESS.md) injected into the profiled run; enables "
         "the thermal watchdog, health monitor and estimator fallback",
+    )
+    prof.add_argument(
+        "--interval-kernel",
+        action="store_true",
+        help="arm the interval-kernel fast path (propagator caches, "
+        "Woodbury solver corrections, quiescent fast-forwarding; see "
+        "docs/PERFORMANCE.md). Auto-disabled when --faults is given",
+    )
+    prof.add_argument(
+        "--exact-kernel",
+        action="store_true",
+        help="force the classic exact interval loop even with "
+        "--interval-kernel: the A/B switch for validating the fast path",
     )
     trace = sub.add_parser(
         "trace",

@@ -37,6 +37,8 @@ class FanOnlyController(Controller):
     """No TEC/DVFS actuation; cooling comes from the (swept) fan alone."""
 
     name: str = "Fan-only"
+    #: Stateless and readings-pure: quiescence-safe to fast-forward.
+    fast_forward_safe = True
 
     def decide(
         self,
@@ -108,6 +110,7 @@ class FanTECController(Controller):
     """Fan (swept) + reactive per-device TEC control."""
 
     name: str = "Fan+TEC"
+    fast_forward_safe = True
 
     def decide(
         self,
@@ -125,6 +128,7 @@ class FanDVFSController(Controller):
     """Fan (swept) + classic reactive DVFS thermal management."""
 
     name: str = "Fan+DVFS"
+    fast_forward_safe = True
 
     def decide(
         self,
@@ -144,6 +148,7 @@ class DVFSTECController(Controller):
     """All three knobs, each managed independently (uncoordinated)."""
 
     name: str = "DVFS+TEC"
+    fast_forward_safe = True
 
     def decide(
         self,

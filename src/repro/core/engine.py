@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import units
 from repro.core.controller import Controller
 from repro.core.estimator import NextIntervalEstimator
 from repro.core.local_estimator import LocalBandedEstimator
@@ -90,6 +91,24 @@ class EngineConfig:
     #: Catch estimator/solver failures inside ``controller.decide`` and
     #: hold the last safe action instead of crashing the run.
     estimator_fallback: bool = False
+    #: Opt-in interval-kernel fast path (docs/PERFORMANCE.md): arms the
+    #: solver's Woodbury low-rank corrections and fast-forwards detected
+    #: quiescent stretches analytically. Off by default — the classic
+    #: loop stays bit-exact. Automatically suppressed on hardened runs
+    #: and runs with sensor noise (see :attr:`kernel_active`).
+    interval_kernel: bool = False
+    #: Force the exact classic path even when ``interval_kernel`` is
+    #: set — the A/B switch for validating the fast path.
+    exact_kernel: bool = False
+    #: Consecutive quiescent intervals (unchanged actuators, activity
+    #: and steady state) observed before the engine fast-forwards.
+    fast_forward_quiet: int = 2
+    #: Longest analytic chunk, in lower-level intervals.
+    fast_forward_max: int = 256
+    #: Quiescence gate on steady-state drift [K]: the leakage loop's
+    #: fixed point must have settled this tightly before its value is
+    #: frozen across a fast-forwarded chunk.
+    fast_forward_steady_tol_k: float = 1e-6
 
     def __post_init__(self) -> None:
         if self.dt_lower_s <= 0 or self.fan_period_s <= 0:
@@ -97,6 +116,18 @@ class EngineConfig:
         if self.fan_period_s < self.dt_lower_s:
             raise ConfigurationError(
                 "fan period must be at least one lower-level interval"
+            )
+        if self.fast_forward_quiet < 1:
+            raise ConfigurationError(
+                "fast_forward_quiet must be at least one interval"
+            )
+        if self.fast_forward_max < 2:
+            raise ConfigurationError(
+                "fast_forward_max below 2 cannot amortize the chunk setup"
+            )
+        if self.fast_forward_steady_tol_k < 0:
+            raise ConfigurationError(
+                "fast_forward_steady_tol_k must be non-negative"
             )
 
     @property
@@ -107,6 +138,23 @@ class EngineConfig:
             or self.watchdog is not None
             or self.health is not None
             or self.estimator_fallback
+        )
+
+    @property
+    def kernel_active(self) -> bool:
+        """Is the interval-kernel fast path armed for this run?
+
+        The fast path is decision-equivalent but not bit-exact, so any
+        configuration that promises bit-identical behaviour — hardened
+        runs (the PR 3 no-fault guarantee), the forced-exact A/B switch
+        — and any run whose readings carry sensor noise (quiescence
+        cannot be detected from a noisy plant) disarm it.
+        """
+        return (
+            self.interval_kernel
+            and not self.exact_kernel
+            and not self.hardened
+            and self.sensors is None
         )
 
 
@@ -228,52 +276,69 @@ class SimulationEngine:
         # exports always carry them, even at zero.
         for counter in (
             "engine.intervals",
+            "engine.fast_forwarded_intervals",
             "temp.violations",
             "tec.switch_events",
             "fan.level_changes",
             "controller.hot_iterations",
             "controller.cool_iterations",
+            "thermal.propagator_hits",
+            "thermal.propagator_misses",
+            "thermal.woodbury_solves",
+            "thermal.woodbury_fallbacks",
         ):
             obs.incr(counter, 0)
 
-        t_nodes = self._initial_field(run, state, profile, cfg.warm_start)
-        prev_tec = state.tec.copy()
-        if cfg.priming_intervals > 0:
-            # Same run type (WorkloadRun or ServerTraceRun), fresh state.
-            primer = type(run)(run.workload, run.chip, run.ref_freq_ghz)
-            with obs.span("engine.prime"):
-                state, t_nodes, prev_tec, _, _, _, _ = self._simulate(
-                    primer,
+        # Interval-kernel runs arm the solver's Woodbury corrections for
+        # the whole run (priming included); the forced-exact A/B switch
+        # explicitly disarms them. Default runs never touch the solver.
+        solver = system.solver
+        restore_woodbury = None
+        if cfg.interval_kernel or cfg.exact_kernel:
+            restore_woodbury = solver.use_woodbury
+            solver.use_woodbury = cfg.kernel_active
+        try:
+            t_nodes = self._initial_field(run, state, profile, cfg.warm_start)
+            prev_tec = state.tec.copy()
+            if cfg.priming_intervals > 0:
+                # Same run type (WorkloadRun/ServerTraceRun), fresh state.
+                primer = type(run)(run.workload, run.chip, run.ref_freq_ghz)
+                with obs.span("engine.prime"):
+                    state, t_nodes, prev_tec, _, _, _, _ = self._simulate(
+                        primer,
+                        controller,
+                        state,
+                        t_nodes,
+                        prev_tec,
+                        estimator,
+                        trace=None,
+                        max_intervals=cfg.priming_intervals,
+                    )
+
+            trace = TraceRecorder()
+            with obs.span("engine.run"):
+                (
+                    state,
+                    t_nodes,
+                    prev_tec,
+                    time_s,
+                    total_instructions,
+                    avg_p,
+                    avg_tec,
+                ) = self._simulate(
+                    run,
                     controller,
                     state,
                     t_nodes,
                     prev_tec,
                     estimator,
-                    trace=None,
-                    max_intervals=cfg.priming_intervals,
+                    trace=trace,
+                    max_intervals=None,
+                    guards=self._build_guards(),
                 )
-
-        trace = TraceRecorder()
-        with obs.span("engine.run"):
-            (
-                state,
-                t_nodes,
-                prev_tec,
-                time_s,
-                total_instructions,
-                avg_p,
-                avg_tec,
-            ) = self._simulate(
-                run,
-                controller,
-                state,
-                t_nodes,
-                prev_tec,
-                estimator,
-                trace=trace,
-                max_intervals=None,
-                guards=self._build_guards(),
-            )
+        finally:
+            if restore_woodbury is not None:
+                solver.use_woodbury = restore_woodbury
 
         metrics = summarize(
             trace,
@@ -330,9 +395,71 @@ class SimulationEngine:
         total_instructions = 0.0
         intervals = 0
 
+        # Interval-kernel fast path (docs/PERFORMANCE.md): armed only on
+        # recorded, unhardened, noise-free runs driven by a policy that
+        # declares itself safe to skip during quiescence. The priming
+        # pass (max_intervals set) always runs classic.
+        kernel = (
+            cfg.kernel_active
+            and guards is None
+            and max_intervals is None
+            and trace is not None
+            and getattr(controller, "fast_forward_safe", False)
+        )
+        quiet = 0
+        prev_activity = None
+        prev_steady = None
+
         while not run.finished and time_s < cfg.max_time_s:
             if max_intervals is not None and intervals >= max_intervals:
                 break
+            if kernel and quiet >= cfg.fast_forward_quiet:
+                k_cap = min(
+                    cfg.fast_forward_max,
+                    # Reserve the final interval for the classic loop so
+                    # the fractional-dt completion accounting is exact.
+                    int((cfg.max_time_s - time_s) / cfg.dt_lower_s + 1e-9)
+                    - 1,
+                )
+                if cfg.dynamic_fan:
+                    per_period = int(
+                        np.ceil(cfg.fan_period_s / cfg.dt_lower_s - 1e-9)
+                    )
+                    # The fan-boundary interval must run classic too.
+                    k_cap = min(k_cap, per_period - fan_accum_n - 1)
+                k = 0
+                if k_cap >= 1:
+                    (
+                        k,
+                        t_nodes,
+                        inst_k,
+                        p_comp_sum,
+                        end_time,
+                    ) = self._fast_forward(
+                        run,
+                        state,
+                        t_nodes,
+                        prev_steady,
+                        prev_activity,
+                        trace,
+                        time_s,
+                        k_cap,
+                    )
+                if k:
+                    total_instructions += inst_k
+                    fan_accum_p += p_comp_sum
+                    fan_accum_tec += k * state.tec
+                    run_avg_p += p_comp_sum * cfg.dt_lower_s
+                    run_avg_tec += state.tec * (k * cfg.dt_lower_s)
+                    fan_accum_n += k
+                    time_s = end_time
+                    intervals += k
+                    obs.incr("engine.fast_forwarded_intervals", k)
+                    # Re-arm after one classic interval: the controller
+                    # always observes between chunks.
+                    quiet = cfg.fast_forward_quiet - 1
+                    continue
+                quiet = 0
             intervals += 1
             dt = cfg.dt_lower_s
 
@@ -502,6 +629,25 @@ class SimulationEngine:
                         time_s - dt,
                         dt,
                     )
+
+                # ---- interval-kernel quiescence detection ----------------
+                if kernel:
+                    if (
+                        dt == cfg.dt_lower_s
+                        and not run.finished
+                        and new_state.key() == state.key()
+                        and np.array_equal(tec_pump, state.tec)
+                        and prev_activity is not None
+                        and np.array_equal(activity, prev_activity)
+                        and prev_steady is not None
+                        and float(np.max(np.abs(t_steady - prev_steady)))
+                        <= cfg.fast_forward_steady_tol_k
+                    ):
+                        quiet += 1
+                    else:
+                        quiet = 0
+                    prev_activity = activity
+                    prev_steady = t_steady
                 state = new_state
 
         if time_s > 0:
@@ -516,6 +662,110 @@ class SimulationEngine:
             run_avg_p,
             run_avg_tec,
         )
+
+    # ------------------------------------------------------------------
+    def _fast_forward(
+        self,
+        run: WorkloadRun,
+        state: ActuatorState,
+        t_nodes: np.ndarray,
+        t_steady: np.ndarray,
+        activity: np.ndarray,
+        trace: TraceRecorder,
+        time_s: float,
+        k_cap: int,
+    ):
+        """Advance up to ``k_cap`` quiescent intervals in closed form.
+
+        Preconditions hold by construction of the caller's quiescence
+        detector: no faults/sensors/watchdog, actuators unchanged, TEC
+        engagement complete, the activity vector static, and the leakage
+        loop's steady state settled (so freezing ``t_steady`` across the
+        chunk is within the drift tolerance). The thermal trajectory is
+        then the paper's Eq. (4) relaxation, evaluated at every interval
+        boundary in one :meth:`PaperTransient.interpolate` call —
+        ``beta_k = exp(-k dt G_ii / C_i)`` per node.
+
+        Instruction accounting still advances interval-by-interval:
+        ``run.advance`` is called once per fast-forwarded interval, so
+        workload bookkeeping (including any activity-noise RNG draws) is
+        consumed exactly as the classic loop would, and the chunk ends
+        early the moment the activity vector or remaining-time check
+        diverges from the quiescent pattern.
+
+        Returns ``(k, t_nodes, instructions, p_component_sum)`` with
+        ``k == 0`` when not a single interval qualified.
+        """
+        system = self.system
+        cfg = self.config
+        dt = cfg.dt_lower_s
+        profile = run.workload.component_profile
+        freqs = system.dvfs.frequency_ghz(state.dvfs)
+        inst_rows = []
+        k = 0
+        while k < k_cap:
+            if not np.array_equal(run.activity_vector(), activity):
+                break
+            if run.time_to_completion_s(freqs) < dt:
+                break
+            inst_rows.append(run.advance(dt, freqs))
+            k += 1
+        if k == 0:
+            return 0, t_nodes, 0.0, None, time_s
+
+        comp = system.nodes.component_slice
+        p_dyn = system.power.component_power.dynamic_power_w(
+            activity, state.dvfs, profile
+        )
+        # Row timestamps accumulate sequentially, exactly like the
+        # classic loop's ``time_s += dt`` — cumulative float error and
+        # all — so fast-forwarded trace rows carry identical clocks.
+        row_times = np.empty(k)
+        end_time = time_s
+        for j in range(k):
+            row_times[j] = end_time
+            end_time += dt
+        times = dt * np.arange(1, k + 1)
+        with obs.span("engine.fast_forward"):
+            t_rows = system.transient.interpolate(
+                t_nodes, t_steady, times, state.fan_level, state.tec
+            )
+        t_comp_rows_c = units.k_to_c(t_rows[:, comp])
+        p_leak_rows = system.power.plant_leakage.per_component_w(
+            t_rows[:, comp]
+        )
+        p_tec_rows = system.tec_power_many(state.tec, t_rows)
+        p_fan = system.fan.power_w(state.fan_level)
+        inst = np.vstack(inst_rows)
+        ips_rows = inst.sum(axis=1) / dt
+        p_cores_rows = float(p_dyn.sum()) + p_leak_rows.sum(axis=1)
+        p_chip_rows = p_cores_rows + p_tec_rows + p_fan
+        trace.extend(
+            time_s=row_times,
+            dt_s=dt,
+            peak_temp_c=t_comp_rows_c.max(axis=1),
+            p_chip_w=p_chip_rows,
+            p_cores_w=p_cores_rows,
+            p_tec_w=p_tec_rows,
+            p_fan_w=p_fan,
+            ips_chip=ips_rows,
+            tec_on=int(np.count_nonzero(state.tec > 0.5)),
+            fan_level=state.fan_level,
+            mean_dvfs_level=float(np.mean(state.dvfs)),
+        )
+        if obs.get_telemetry() is not None:
+            for j in range(k):
+                self._record_interval(
+                    state,
+                    state,
+                    t_comp_rows_c[j],
+                    float(p_chip_rows[j]),
+                    float(ips_rows[j]),
+                    row_times[j],
+                    dt,
+                )
+        p_comp_sum = k * p_dyn + p_leak_rows.sum(axis=0)
+        return k, t_rows[-1].copy(), float(inst.sum()), p_comp_sum, end_time
 
     # ------------------------------------------------------------------
     def _record_interval(

@@ -36,6 +36,7 @@ from repro.exceptions import ControlError
 from repro.obs import telemetry as obs
 from repro.power.component_power import core_dvfs_domain_mask
 from repro.power.dynamic import DynamicPowerTracker
+from repro.thermal.keys import exact_actuator_key
 
 
 class IPSPredictor(Protocol):
@@ -278,10 +279,11 @@ class NextIntervalEstimator:
 
         # One multi-RHS solve per distinct (fan, TEC) setting: the LU
         # factorization, Joule terms, transient betas, TEC power scatter
-        # and fan lookup are shared.
+        # and fan lookup are shared. Grouping must be exact (not the
+        # caches' quantized keying): members share one factorization.
         groups: dict = {}
         for j, (_, state, _) in enumerate(misses):
-            gkey = (state.fan_level, state.tec.tobytes())
+            gkey = exact_actuator_key(state.fan_level, state.tec)
             groups.setdefault(gkey, []).append(j)
         for members in groups.values():
             state0 = misses[members[0]][1]

@@ -56,6 +56,47 @@ class TraceRecorder:
             )
         )
 
+    def extend(
+        self,
+        *,
+        time_s,
+        dt_s,
+        peak_temp_c,
+        p_chip_w,
+        p_cores_w,
+        p_tec_w,
+        p_fan_w,
+        ips_chip,
+        tec_on,
+        fan_level,
+        mean_dvfs_level,
+    ) -> None:
+        """Record a block of consecutive intervals in one call.
+
+        Array arguments supply one value per interval; scalars broadcast
+        across the block (the engine's fast-forward path holds actuators
+        constant, so most columns are scalar there). Row ``j`` is
+        exactly what ``append`` would have stored for the same values.
+        """
+        n = len(np.asarray(time_s, dtype=float).reshape(-1))
+        cols = [
+            np.broadcast_to(np.asarray(col, dtype=float).reshape(-1), n)
+            for col in (
+                time_s,
+                dt_s,
+                peak_temp_c,
+                p_chip_w,
+                p_cores_w,
+                p_tec_w,
+                p_fan_w,
+                ips_chip,
+                tec_on,
+                fan_level,
+                mean_dvfs_level,
+            )
+        ]
+        self._rows.extend(zip(*(c.tolist() for c in cols)))
+
     def __len__(self) -> int:
         return len(self._rows)
 
