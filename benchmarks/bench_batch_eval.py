@@ -7,14 +7,18 @@ Measures the two layers this perf subsystem adds:
    (:class:`~repro.core.estimator.NextIntervalEstimator`) and banded
    (:class:`~repro.core.local_estimator.LocalBandedEstimator`)
    estimators. Equivalence is asserted bit-exactly on every round.
-2. **Experiment fan-out** — ``run_fan_sweep`` wall time, serial vs
-   ``--jobs``-parallel, with identical-metrics assertion. The SPLASH-2
-   runs here finish in well under a second each, so spawning worker
-   processes (fresh interpreters importing numpy/scipy) dominates and
-   the parallel sweep *loses* on wall time — the number is recorded
-   honestly as the fan-out floor. ``--jobs`` pays off on long suites
-   (oracle runs, many workloads); this stage only asserts that the
-   parallel path returns bit-identical results.
+2. **Experiment fan-out** — a fan-sweep *matrix* (every SPLASH-2
+   workload x every fan level) through the persistent
+   :class:`~repro.parallel.WorkerPool`, serial vs pooled, with a
+   bit-identity assertion on every cell. Pool start-up (spawn + numpy/
+   scipy imports) is timed separately via ``WorkerPool.prime`` so the
+   steady-state speedup is honest about what a long suite actually
+   sees. The speedup gate scales with the CPUs actually available
+   (``min(jobs, affinity, tasks)``): at ``--jobs 16`` on a 16-core host
+   the matrix must reach >= 8x over serial; on a CPU-starved CI runner
+   the pooled path must instead stay within 1.8x of serial wall time
+   (the pre-pool runtime was ~12x *slower*; see the 0.086x record kept
+   under ``history`` in the baseline JSON).
 
 Run directly (no pytest-benchmark dependency)::
 
@@ -121,49 +125,135 @@ def bench_candidate_rounds(system, kind: str, rounds: int) -> dict:
     }
 
 
+def _sweep_workloads(threads: int) -> list[str]:
+    """Matrix rows: every workload with a Table I entry at this size."""
+    from repro.perf.splash2 import TABLE1_TARGETS
+
+    return [r.workload for r in TABLE1_TARGETS if r.threads == threads]
+
+_TRACE_FIELDS = (
+    "time_s",
+    "dt_s",
+    "peak_temp_c",
+    "p_chip_w",
+    "p_tec_w",
+    "p_fan_w",
+    "ips_chip",
+    "tec_on",
+    "fan_level",
+    "mean_dvfs_level",
+)
+
+
+def _assert_cells_identical(serial, pooled) -> None:
+    for i, (a, b) in enumerate(zip(serial, pooled)):
+        for fld in _TRACE_FIELDS:
+            assert np.array_equal(
+                getattr(a.trace, fld), getattr(b.trace, fld)
+            ), f"cell {i}: trace.{fld} diverged"
+        assert a.metrics == b.metrics, f"cell {i}: metrics diverged"
+
+
 def bench_sweep(system, jobs: int, max_time_s: float) -> dict:
-    """Serial vs parallel ``run_fan_sweep`` wall time, same results."""
+    """Fan-sweep matrix through the pool: serial vs pooled, same bits.
+
+    Every (workload, fan level) pair is one task; the engine +
+    controller ship once per worker as shared pool context so the
+    thermal caches warm up across a worker's cells, exactly as the
+    serial loop's do.
+    """
     from repro.core.baselines import FanTECController
     from repro.core.engine import (
         EngineConfig,
         SimulationEngine,
-        run_fan_sweep,
+        _fan_sweep_task,
     )
     from repro.core.problem import EnergyProblem
+    from repro.parallel import WorkerPool, available_cpus, parallel_map
     from repro.perf import splash2_workload
     from repro.perf.splash2 import REF_FREQ_GHZ
     from repro.perf.workload import WorkloadRun
 
-    wl = splash2_workload("lu", system.n_cores, system.chip)
     engine = SimulationEngine(
         system,
         EnergyProblem(t_threshold_c=76.0),
         EngineConfig(max_time_s=max_time_s),
     )
+    controller = FanTECController()
+    context = (engine, controller)
+    workloads = _sweep_workloads(system.n_cores)
+    # Size the measured pool to the CPUs actually grantable: workers
+    # beyond the affinity mask cannot run concurrently, they only
+    # multiply cold caches — a deployment would use --jobs 0 (auto).
+    pool_jobs = max(2, min(jobs, available_cpus()))
 
-    def make_run():
-        return WorkloadRun(wl, system.chip, REF_FREQ_GHZ)
+    def matrix():
+        # Fresh runs per pass: the engine consumes each run's
+        # instruction accounting.
+        return [
+            (WorkloadRun(splash2_workload(w, system.n_cores, system.chip),
+                         system.chip, REF_FREQ_GHZ), level)
+            for w in workloads
+            for level in range(1, system.fan.n_levels + 1)
+        ]
 
     t0 = time.perf_counter()
-    chosen_s, sweep_s = run_fan_sweep(engine, make_run, FanTECController())
+    serial = parallel_map(_fan_sweep_task, matrix(), jobs=1, context=context)
     t_serial = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    chosen_p, sweep_p = run_fan_sweep(
-        engine, make_run, FanTECController(), jobs=jobs
-    )
-    t_parallel = time.perf_counter() - t0
+    with WorkerPool(pool_jobs) as pool:
+        t0 = time.perf_counter()
+        pool.prime()  # spawn + import, paid once per suite
+        t_startup = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pooled = parallel_map(
+            _fan_sweep_task, matrix(), context=context, pool=pool
+        )
+        t_pool = time.perf_counter() - t0
 
-    assert sweep_p == sweep_s, "parallel sweep diverged from serial"
-    assert chosen_p.metrics == chosen_s.metrics
-
+    _assert_cells_identical(serial, pooled)
+    n_tasks = len(workloads) * system.fan.n_levels
+    effective = max(1, min(pool_jobs, available_cpus(), n_tasks))
     return {
-        "fan_levels": len(sweep_s),
-        "jobs": jobs,
+        "workloads": len(workloads),
+        "fan_levels": system.fan.n_levels,
+        "tasks": n_tasks,
+        "jobs_requested": jobs,
+        "jobs": pool_jobs,
+        "effective_cpus": effective,
         "serial_s": t_serial,
-        "parallel_s": t_parallel,
-        "speedup": t_serial / t_parallel if t_parallel > 0 else float("inf"),
+        "pool_startup_s": t_startup,
+        "pooled_s": t_pool,
+        "speedup": t_serial / t_pool if t_pool > 0 else float("inf"),
     }
+
+
+def sweep_gate(entry: dict) -> str | None:
+    """The fan-out acceptance gate, scaled to the CPUs actually there.
+
+    With ``eff`` usable CPUs the pooled matrix must reach at least
+    ``eff / 2``x over serial (>= 8x at ``--jobs 16`` on a 16-core
+    host). Starved of CPUs (``eff == 1``) real speedup is impossible —
+    two workers timeshare one core and each re-warms its own thermal
+    caches — so the gate flips to an overhead bound: the pooled path
+    must stay within 1.8x of serial wall time, versus the order of
+    magnitude the old per-task spawn lost (0.086x ~= 11.6x slower).
+    """
+    eff = entry["effective_cpus"]
+    speedup = entry["speedup"]
+    if eff >= 2:
+        need = eff / 2.0
+        if speedup < need:
+            return (
+                f"matrix speedup {speedup:.2f}x < {need:.1f}x "
+                f"(= effective_cpus {eff} / 2)"
+            )
+    elif entry["pooled_s"] > 1.8 * entry["serial_s"]:
+        return (
+            f"pooled overhead {entry['pooled_s']:.2f} s > 1.8x serial "
+            f"{entry['serial_s']:.2f} s on a single-CPU host"
+        )
+    return None
 
 
 def main(argv=None) -> int:
@@ -210,12 +300,28 @@ def main(argv=None) -> int:
     sweep = bench_sweep(system, args.jobs, max_time_s)
     report["fan_sweep"] = sweep
     print(
-        f"fan sweep ({sweep['fan_levels']} levels): serial "
-        f"{sweep['serial_s']:.2f} s, jobs={sweep['jobs']} "
-        f"{sweep['parallel_s']:.2f} s -> {sweep['speedup']:.2f}x"
+        f"fan-sweep matrix ({sweep['tasks']} tasks = "
+        f"{sweep['workloads']} workloads x {sweep['fan_levels']} levels): "
+        f"serial {sweep['serial_s']:.2f} s, jobs={sweep['jobs']} "
+        f"(effective cpus {sweep['effective_cpus']}) pooled "
+        f"{sweep['pooled_s']:.2f} s (+{sweep['pool_startup_s']:.2f} s "
+        f"one-off pool start-up) -> {sweep['speedup']:.2f}x"
     )
+    if not args.smoke:
+        failure = sweep_gate(sweep)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            ok = False
 
     if not args.smoke:
+        # Keep prior baselines (e.g. the pre-pool 0.086x fan sweep) so
+        # the regression story stays in the committed record.
+        history = []
+        if BASELINE.exists():
+            old = json.loads(BASELINE.read_text())
+            history = old.pop("history", [])
+            history.append(old)
+        report["history"] = history
         RESULTS_DIR.mkdir(exist_ok=True)
         BASELINE.write_text(json.dumps(report, indent=2) + "\n")
         print(f"[saved to {BASELINE}]")

@@ -21,7 +21,11 @@ Run the fault matrix directly (no pytest-benchmark dependency)::
     PYTHONPATH=src python benchmarks/bench_robustness.py --smoke   # CI mode
 
 ``--smoke`` uses a 4-core chip and short runs: the acceptance gates are
-identical, only the platform is smaller.
+identical, only the platform is smaller. ``--jobs N`` additionally runs
+the matrix through the persistent worker pool and gates on outcome
+identity with the serial matrix plus the CPU-scaled speedup bound of
+``bench_batch_eval.sweep_gate`` (>= 8x at ``--jobs 16`` on a 16-core
+host; a bounded-overhead check when CPU-starved).
 """
 
 from __future__ import annotations
@@ -203,7 +207,95 @@ def test_fault_matrix(benchmark, system16, results_dir):
 # ----------------------------------------------------------------------
 # Standalone entry point (CI smoke: no pytest-benchmark needed)
 # ----------------------------------------------------------------------
+def _outcomes_match(serial, pooled) -> str | None:
+    """First divergence between two outcome lists, or None if identical.
+
+    Crashed cells carry NaN figures, so the frozen-dataclass ``==`` is
+    checked field-wise with NaN treated as equal to itself.
+    """
+    import math
+
+    if len(serial) != len(pooled):
+        return "different outcome counts"
+    for a, b in zip(serial, pooled):
+        cell = f"{a.scenario}/{'hardened' if a.hardened else 'raw'}"
+        if (a.scenario, a.hardened, a.crashed, a.error, a.counters) != (
+            b.scenario, b.hardened, b.crashed, b.error, b.counters
+        ):
+            return f"{cell}: status/counters diverged"
+        for fld in (
+            "peak_temp_c", "excess_frac", "violation_rate", "energy_j"
+        ):
+            x, y = getattr(a, fld), getattr(b, fld)
+            if x != y and not (math.isnan(x) and math.isnan(y)):
+                return f"{cell}: {fld} {x!r} != {y!r}"
+    return None
+
+
+def _bench_pooled_cells(system, plans, jobs: int, smoke: bool) -> int:
+    """Pool every plan's cells through one worker fleet and gate it.
+
+    The serial prologue (base + reference per workload) is already
+    paid inside ``plans``; what the pool accelerates — and what this
+    times — is the cell fan-out, which is the dominant cost (each cell
+    is a ``mission_scale``-long hardened/faulted mission). Cells from
+    all workloads share one pool, so at ``--jobs 16`` the full-chip
+    matrix has 28 cells to spread over 16 workers.
+    """
+    import time
+
+    from bench_batch_eval import sweep_gate
+
+    from repro.analysis.faultmatrix import _matrix_task
+    from repro.parallel import WorkerPool, available_cpus, parallel_map
+
+    cells = [c for plan in plans for c in plan.cells]
+    t0 = time.perf_counter()
+    serial = parallel_map(_matrix_task, cells, jobs=1, context=system)
+    t_serial = time.perf_counter() - t0
+
+    pool_jobs = max(2, min(jobs, available_cpus()))
+    with WorkerPool(pool_jobs) as pool:
+        t0 = time.perf_counter()
+        pool.prime()
+        t_startup = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pooled = parallel_map(_matrix_task, cells, context=system, pool=pool)
+        t_pool = time.perf_counter() - t0
+
+    diverged = _outcomes_match(serial, pooled)
+    if diverged is not None:
+        print(f"FAIL: pooled matrix diverged from serial — {diverged}")
+        return 1
+    entry = {
+        "tasks": len(cells),
+        "jobs": pool_jobs,
+        "effective_cpus": max(
+            1, min(pool_jobs, available_cpus(), len(cells))
+        ),
+        "serial_s": t_serial,
+        "pool_startup_s": t_startup,
+        "pooled_s": t_pool,
+        "speedup": t_serial / t_pool if t_pool > 0 else float("inf"),
+    }
+    print(
+        f"fault-matrix cells ({len(cells)} across {len(plans)} "
+        f"workload(s)): serial {t_serial:.2f} s, jobs={pool_jobs} "
+        f"(effective cpus {entry['effective_cpus']}) pooled "
+        f"{t_pool:.2f} s (+{t_startup:.2f} s one-off pool start-up) "
+        f"-> {entry['speedup']:.2f}x, identical outcomes"
+    )
+    if not smoke:
+        failure = sweep_gate(entry)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
+    from repro.analysis.faultmatrix import plan_fault_matrix
+
     parser = argparse.ArgumentParser(
         description="Fault-matrix robustness study"
     )
@@ -212,18 +304,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI mode: 4-core chip, short runs, same acceptance gates",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="also run every workload's matrix cells through one pool "
+        "of N workers and gate on serial/pooled outcome identity plus "
+        "the CPU-scaled speedup bound",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.system import build_system
+    from repro.perf.splash2 import TABLE1_TARGETS
 
     if args.smoke:
         system = build_system(rows=2, cols=2)
-        report = run_fault_matrix(
-            system, workload="lu", threads=4,
-            max_time_s=0.5, t_fault_s=0.004,
+        kwargs = dict(
+            workload="lu", threads=4, max_time_s=0.5, t_fault_s=0.004
         )
+        report = run_fault_matrix(system, **kwargs)
     else:
         system = build_system()
+        kwargs = {}
         report = run_fault_matrix(system)
 
     print(_format_fault_matrix(report))
@@ -236,6 +339,19 @@ def main(argv=None) -> int:
         "gates: hardened contained on all scenarios; unhardened failed "
         f"on {report.unhardened_failures}"
     )
+
+    if args.jobs is not None:
+        if args.smoke:
+            plans = [plan_fault_matrix(system, **kwargs)]
+        else:
+            # Every Table I workload at the full thread count: 4
+            # matrices x 7 cells = 28 pooled tasks.
+            plans = [
+                plan_fault_matrix(system, workload=row.workload)
+                for row in TABLE1_TARGETS
+                if row.threads == system.n_cores
+            ]
+        return _bench_pooled_cells(system, plans, args.jobs, args.smoke)
     return 0
 
 

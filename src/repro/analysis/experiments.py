@@ -123,14 +123,18 @@ class PolicyOutcome:
     sweep: list = field(default_factory=list)
 
 
-def _policy_suite_task(payload: tuple) -> tuple:
+def _policy_suite_task(common: tuple, payload: tuple) -> tuple:
     """One policy's simulation of a suite (module-level: spawn-picklable).
 
-    ``payload`` is ``(engine, wl, policy, problem, violation_tolerance)``.
-    The ``make_run`` closure a fan sweep needs is rebuilt here, inside
-    the worker, because closures do not pickle.
+    ``common`` is ``(engine, wl, problem)`` — the pool's shared context,
+    unpickled once per worker so the engine's thermal caches stay warm
+    across the policies a worker runs. ``payload`` is
+    ``(policy, violation_tolerance)``. The ``make_run`` closure a fan
+    sweep needs is rebuilt here, inside the worker, because closures do
+    not pickle.
     """
-    engine, wl, policy, problem, violation_tolerance = payload
+    engine, wl, problem = common
+    policy, violation_tolerance = payload
     if isinstance(policy, TECfanController):
         return run_tecfan_with_own_fan_rule(engine, wl, policy, problem)
     system = engine.system
@@ -173,11 +177,10 @@ def run_policy_suite(
     simulated = [
         p for p in policy_list if not isinstance(p, FanOnlyController)
     ]
-    payloads = [
-        (engine, wl, policy, problem, violation_tolerance)
-        for policy in simulated
-    ]
-    pairs = parallel_map(_policy_suite_task, payloads, jobs)
+    payloads = [(policy, violation_tolerance) for policy in simulated]
+    pairs = parallel_map(
+        _policy_suite_task, payloads, jobs, context=(engine, wl, problem)
+    )
     by_name = {p.name: pair for p, pair in zip(simulated, pairs)}
     outcomes: dict[str, PolicyOutcome] = {}
     for policy in policy_list:

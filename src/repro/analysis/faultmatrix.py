@@ -278,7 +278,73 @@ def _run_one(
     )
 
 
-def run_fault_matrix(
+@dataclass(frozen=True)
+class MatrixCell:
+    """One runnable (scenario, hardened?) cell of a fault matrix.
+
+    Self-contained and picklable: everything a worker needs except the
+    (heavy, cache-bearing) system, which travels separately as shared
+    pool context. Cells from *different* matrices — e.g. one per
+    workload — can therefore share one worker pool and its warm caches,
+    which is how ``bench_robustness.py`` reaches real parallel speedup.
+    """
+
+    scenario: str
+    hardened: bool
+    problem: EnergyProblem
+    wl: object
+    fan_level: int
+    max_time_s: float
+    margin_c: float
+    faults: tuple = ()
+
+
+@dataclass(frozen=True)
+class MatrixPlan:
+    """A planned fault matrix: serial prologue done, cells ready to run.
+
+    Produced by :func:`plan_fault_matrix` (base scenario -> threshold,
+    reference run -> hot spot, fault scripts); consumed by
+    :func:`run_fault_matrix` or any driver that wants to pool cells
+    from several plans together.
+    """
+
+    workload: str
+    threads: int
+    t_threshold_c: float
+    margin_c: float
+    hot_component: int
+    hot_tile: int
+    reference: ScenarioOutcome
+    cells: tuple
+
+    def report(self, outcomes: list) -> FaultMatrixReport:
+        """Assemble the report from this plan's cell ``outcomes``."""
+        return FaultMatrixReport(
+            workload=self.workload,
+            threads=self.threads,
+            t_threshold_c=self.t_threshold_c,
+            margin_c=self.margin_c,
+            hot_component=self.hot_component,
+            hot_tile=self.hot_tile,
+            outcomes=[self.reference] + list(outcomes),
+        )
+
+
+def _matrix_task(system: CMPSystem, cell: MatrixCell) -> ScenarioOutcome:
+    """Run one :class:`MatrixCell` (module-level: spawn-picklable).
+
+    ``system`` is the shared pool context, so a worker's solver (and
+    its factorization caches) stays warm across the cells it runs.
+    """
+    return _run_one(
+        system, cell.problem, cell.wl, cell.fan_level, cell.max_time_s,
+        faults=list(cell.faults), hardened=cell.hardened,
+        margin_c=cell.margin_c, scenario=cell.scenario,
+    )
+
+
+def plan_fault_matrix(
     system: CMPSystem,
     workload: str = "cholesky",
     threads: int = 16,
@@ -287,8 +353,8 @@ def run_fault_matrix(
     t_fault_s: float = 0.01,
     margin_c: float = VIOLATION_MARGIN_C,
     mission_scale: int = 6,
-) -> FaultMatrixReport:
-    """Run every scenario hardened and unhardened; collect the matrix.
+) -> MatrixPlan:
+    """Plan a fault matrix: run the serial prologue, script the cells.
 
     ``t_fault_s`` is when (in recorded simulated time) each fault
     switches on — a few control intervals in, so every run starts from
@@ -301,6 +367,10 @@ def run_fault_matrix(
     it); the containment criterion is a *time share*, so the mission
     must be long enough that detection-latency transients are priced
     as transients rather than dominating a toy-length run.
+
+    The base scenario (-> threshold) and reference run (-> hot spot)
+    execute here, serially — every cell depends on what they produce.
+    The returned plan's cells are then embarrassingly parallel.
     """
     base = run_base_scenario(system, workload, threads)
     problem = EnergyProblem(t_threshold_c=base.t_threshold_c)
@@ -336,24 +406,61 @@ def run_fault_matrix(
     scenarios = default_scenarios(
         system, hot_component, hot_tile, base.t_threshold_c, t_fault_s
     )
-    outcomes = [reference]
-    for name, script in scenarios.items():
-        for hardened in (False, True):
-            if name == "none" and not hardened:
-                continue  # already ran as the reference
-            outcomes.append(
-                _run_one(
-                    system, problem, wl, fan_level, max_time_s,
-                    faults=script, hardened=hardened,
-                    margin_c=margin_c, scenario=name,
-                )
-            )
-    return FaultMatrixReport(
+    cells = tuple(
+        MatrixCell(
+            scenario=name,
+            hardened=hardened,
+            problem=problem,
+            wl=wl,
+            fan_level=fan_level,
+            max_time_s=max_time_s,
+            margin_c=margin_c,
+            faults=tuple(script),
+        )
+        for name, script in scenarios.items()
+        for hardened in (False, True)
+        # The (none, unhardened) cell already ran as the reference.
+        if not (name == "none" and not hardened)
+    )
+    return MatrixPlan(
         workload=workload,
         threads=threads,
         t_threshold_c=base.t_threshold_c,
         margin_c=margin_c,
         hot_component=hot_component,
         hot_tile=hot_tile,
-        outcomes=outcomes,
+        reference=reference,
+        cells=cells,
     )
+
+
+def run_fault_matrix(
+    system: CMPSystem,
+    workload: str = "cholesky",
+    threads: int = 16,
+    fan_level: int = 2,
+    max_time_s: float = 2.0,
+    t_fault_s: float = 0.01,
+    margin_c: float = VIOLATION_MARGIN_C,
+    mission_scale: int = 6,
+    jobs: int | None = None,
+) -> FaultMatrixReport:
+    """Run every scenario hardened and unhardened; collect the matrix.
+
+    :func:`plan_fault_matrix` documents the knobs. ``jobs`` fans the
+    matrix cells out across pooled worker processes
+    (:func:`repro.parallel.parallel_map`) with the system — and its
+    solver caches — shipped once per worker as shared context; each
+    cell builds its own engine and fault script, so pooled outcomes
+    equal serial ones exactly. The planning prologue stays serial.
+    """
+    from repro.parallel import parallel_map
+
+    plan = plan_fault_matrix(
+        system, workload, threads, fan_level, max_time_s,
+        t_fault_s, margin_c, mission_scale,
+    )
+    outcomes = parallel_map(
+        _matrix_task, plan.cells, jobs, context=system
+    )
+    return plan.report(outcomes)

@@ -79,8 +79,10 @@ def tec_density_sweep(
     the passive heat path too); the threshold defaults to the
     3x3-system's base-scenario peak so all densities chase the same
     target. Densities are independent, so ``jobs`` fans them out across
-    worker processes (results and order identical to serial; worker
-    telemetry merges back into the installed session).
+    pooled worker processes (results and order identical to serial;
+    worker telemetry merges back into the installed session). Each
+    point builds its own system, so no shared pool context is shipped —
+    the win here is amortizing worker start-up, not cache warmth.
     """
     # Threshold from the paper-standard platform.
     if t_threshold_c is None:

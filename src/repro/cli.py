@@ -275,9 +275,9 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         metavar="N",
         default=None,
-        help="run independent simulations across N worker processes "
-        "(0 = auto: TECFAN_JOBS env var, else the CPU count); results "
-        "are identical to serial execution",
+        help="run independent simulations across a persistent pool of "
+        "N worker processes (0 = auto: TECFAN_JOBS env var, else the "
+        "CPU affinity mask); results are identical to serial execution",
     )
     jobs_parent.add_argument(
         "--job-timeout-s",

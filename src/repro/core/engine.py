@@ -840,14 +840,18 @@ class SimulationEngine:
         return out
 
 
-def _fan_sweep_task(payload: tuple) -> SimulationResult:
+def _fan_sweep_task(common: tuple, payload: tuple) -> SimulationResult:
     """One fan level of a sweep (module-level: spawn-picklable).
 
-    ``payload`` is ``(engine, run, controller, level)`` — each worker
-    receives its own pickled copies, so mutating the controller or the
-    run is isolated exactly as a fresh serial iteration would be.
+    ``common`` is ``(engine, controller)`` — the pool's shared context,
+    shipped to each worker once and reused warm across its levels so
+    the engine's propagator/LU caches amortize exactly as they do in a
+    serial loop. ``payload`` is ``(run, level)``; the controller is
+    ``reset()`` before each level, which is the same state discipline
+    the serial loop applies to its single shared controller.
     """
-    engine, run, controller, level = payload
+    engine, controller = common
+    run, level = payload
     controller.reset()
     state = ActuatorState.initial(
         engine.system.n_tec_devices,
@@ -883,22 +887,19 @@ def run_fan_sweep(
         (each level needs untouched instruction accounting).
     jobs:
         Fan levels to simulate concurrently (see
-        :func:`repro.parallel.parallel_map`); the per-level runs are
-        independent and deterministic, so any worker count produces the
-        results of the serial loop.
+        :func:`repro.parallel.parallel_map`); the engine + controller
+        travel once per worker as shared pool context, so the per-level
+        runs — independent and deterministic — produce the results of
+        the serial loop with warm thermal caches.
     """
-    from repro.parallel import parallel_map, resolve_jobs
+    from repro.parallel import parallel_map
 
     fan = engine.system.fan
     levels = range(1, fan.n_levels + 1)
-    if resolve_jobs(jobs) > 1:
-        payloads = [(engine, make_run(), controller, lv) for lv in levels]
-        results = parallel_map(_fan_sweep_task, payloads, jobs)
-    else:
-        results = [
-            _fan_sweep_task((engine, make_run(), controller, lv))
-            for lv in levels
-        ]
+    payloads = [(make_run(), lv) for lv in levels]
+    results = parallel_map(
+        _fan_sweep_task, payloads, jobs, context=(engine, controller)
+    )
     all_metrics = [res.metrics for res in results]
     qualifying = [
         res

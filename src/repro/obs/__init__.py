@@ -44,7 +44,11 @@ from repro.obs.manifest import (
     git_sha,
     jsonable,
 )
-from repro.obs.merge import WorkerTelemetry, capture_worker_telemetry
+from repro.obs.merge import (
+    PersistentWorkerSession,
+    WorkerTelemetry,
+    capture_worker_telemetry,
+)
 from repro.obs.streaming import StreamingExporter, read_stream_parts
 from repro.obs.metrics import (
     DEFAULT_MS_BUCKETS,
@@ -78,6 +82,7 @@ __all__ = [
     "build_manifest",
     "git_sha",
     "jsonable",
+    "PersistentWorkerSession",
     "WorkerTelemetry",
     "capture_worker_telemetry",
     "StreamingExporter",

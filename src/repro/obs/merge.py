@@ -30,6 +30,7 @@ from repro.obs.manifest import jsonable
 from repro.obs.telemetry import Telemetry, telemetry_session
 
 __all__ = [
+    "PersistentWorkerSession",
     "WorkerTelemetry",
     "capture_worker_telemetry",
     "run_captured",
@@ -103,6 +104,34 @@ def run_captured(fn: Callable, payload) -> tuple:
     with telemetry_session(tel):
         result = fn(payload)
     return result, capture_worker_telemetry(tel)
+
+
+class PersistentWorkerSession:
+    """One reusable worker-side session for a pool worker's lifetime.
+
+    A persistent :class:`~repro.parallel.WorkerPool` worker runs many
+    tasks back to back; allocating a fresh :class:`Telemetry` per task
+    (as :func:`run_captured` does) is wasted churn there. This keeps a
+    single session object — events to the counting no-op sink, exactly
+    like :func:`run_captured` — and :meth:`Telemetry.reset`\\ s it
+    between tasks, so each capture still covers exactly one task and the
+    parent's task-index-order merge semantics are unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._tel = Telemetry(event_sink=_discard_event)
+
+    def run(self, fn: Callable) -> tuple:
+        """Run ``fn()`` under the recycled session.
+
+        Returns ``(result, WorkerTelemetry)``; exceptions propagate (the
+        failed attempt's telemetry is discarded with it, and the next
+        task starts from a reset session either way).
+        """
+        self._tel.reset()
+        with telemetry_session(self._tel):
+            result = fn()
+        return result, capture_worker_telemetry(self._tel)
 
 
 def _discard_event(record: dict) -> None:

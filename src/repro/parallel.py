@@ -1,60 +1,85 @@
-"""Process-parallel experiment fan-out.
+"""Persistent worker-pool fan-out for experiment sweeps.
 
-Sweeps and policy suites run many *independent* simulations — one per
-fan level, one per policy. Each simulation is CPU-bound in LAPACK/SuperLU
-calls that hold the GIL for only part of their time, so processes (not
-threads) are the right isolation, and the payloads the drivers ship
-(systems, workload runs, controllers) are plain dataclasses + numpy
-arrays that pickle cleanly. The one exception — SuperLU factorization
-objects — is handled by :class:`repro.thermal.steady_state.SteadyStateSolver`
-dropping its LU cache on pickling; workers refactorize lazily.
+Sweeps, policy suites and fault matrices run many *independent*
+simulations — one per fan level, one per policy, one per scenario. Each
+is CPU-bound in LAPACK/SuperLU calls, so processes (not threads) are the
+right isolation. Historically every ``parallel_map`` call paid the full
+cold-start bill: spawned interpreters re-imported numpy/scipy, every
+task received its own pickled engine whose ``PropagatorCache``/LU/
+Woodbury structures arrive empty (SuperLU objects cannot pickle), and
+full temperature/power traces were pickled back through a pipe. For
+sub-second tasks that made ``--jobs`` a *slowdown* (the recorded 0.086x
+fan-sweep baseline).
 
-Design rules:
+The runtime here is a **persistent process pool** (:class:`WorkerPool`)
+with a different lifecycle and cache-reuse contract:
 
-* **spawn** start method always: fork would duplicate whatever state the
-  parent process has accumulated (telemetry sessions, factorization
-  caches) and is unavailable on some platforms; spawn keeps workers
-  deterministic and identical everywhere.
-* Results come back **in payload order** regardless of completion order,
-  so parallel runs are drop-in replacements for serial loops.
+* **Workers live across a whole sweep** (and across ``map`` calls when
+  the pool is shared): one spawn + import per worker, amortized over
+  every task it runs. ``spawn`` start method always — fork would
+  duplicate parent state (telemetry sessions, factorization caches) and
+  is unavailable on some platforms.
+* **Warm shared context**: a task function may be split into
+  ``fn(context, payload)``. The context (typically the engine + system,
+  whose thermal caches key on the quantized actuator keys of
+  :mod:`repro.thermal.keys`) ships to each worker **once** and is
+  reused, object-identical, by every subsequent task on that worker —
+  so propagator/LU/Woodbury caches stay warm between tasks exactly as
+  they do across a serial loop. Context mutations must therefore be
+  result-invariant (memoization only); that is the same contract the
+  serial path already imposes, which shares one context object across
+  all tasks.
+* **Shared-memory results**: workers serialize results with pickle
+  protocol 5; the out-of-band numpy buffers (temperature/power traces)
+  travel through :mod:`multiprocessing.shared_memory` blocks instead of
+  being pickled through the pipe when they exceed
+  :data:`SHM_MIN_BYTES`. The parent copies them out into writable
+  buffers and unlinks the block, so reconstructed results are
+  bit-identical and fully owned. ``parallel.shm_bytes`` accounts the
+  bytes moved this way.
+* Results come back **in payload order** regardless of completion
+  order, and serial (``jobs=1``) results are bit-identical to pooled
+  results — the drop-in-replacement contract every driver relies on.
 * Worker exceptions are captured as formatted tracebacks and re-raised
   in the parent as one :class:`ParallelExecutionError` naming every
   failing task — a custom exception type from a worker may itself fail
   to unpickle, a traceback string never does.
 * ``jobs=None`` or ``jobs=1`` runs serially in-process (no pool, no
   pickling) so the flag can be threaded through unconditionally.
-* Resilience is **opt-in** and orthogonal: ``timeout_s`` kills attempts
-  that hang (a worker stuck in a native solve cannot be cancelled any
-  other way), ``retries`` re-runs failed/timed-out attempts with
-  exponential backoff, and ``on_error="collect"`` returns
-  :class:`TaskFailure` placeholders instead of raising so a 100-run
-  sweep survives one bad point. With none of these engaged the classic
-  pool fast path runs unchanged. ``parallel.retries`` and
+* Resilience is built into the pool scheduler: ``timeout_s`` kills an
+  attempt at its deadline and **replaces the worker** (the pool keeps
+  its capacity; other tasks are unaffected), ``retries`` re-dispatches
+  failed/timed-out attempts with exponential backoff, and
+  ``on_error="collect"`` returns :class:`TaskFailure` placeholders so a
+  100-run sweep survives one bad point. ``parallel.retries`` and
   ``parallel.timeouts`` counters make degraded sweeps observable.
 
-Telemetry note: when the parent has an active telemetry session, every
-worker installs its own :class:`repro.obs.Telemetry` around its task and
-ships the session's aggregates back alongside the result
-(:mod:`repro.obs.merge`); the parent folds them in via
-:meth:`Telemetry.merge` under a ``worker=<task index>`` span-edge label.
-Counters incremented inside workers therefore **do** aggregate into the
-parent's session — a ``--jobs N`` sweep's merged counters equal the
-serial run's exactly for every deterministic counter. Worker *events*
-are not shipped (aggregates only); they are accounted in the
-``parallel.worker_events_dropped`` counter, and each merged session
-increments ``parallel.worker_sessions``.
+Telemetry: when the parent has an active session, each worker keeps one
+long-lived session object reused across tasks
+(:class:`repro.obs.merge.PersistentWorkerSession`) and ships per-task
+aggregate captures back alongside results; the parent folds them in
+deterministically, in task-index order, under ``worker=<task index>``
+labels (:mod:`repro.obs.merge`). A ``--jobs N`` sweep's merged counters
+equal the serial run's exactly for every deterministic counter. Worker
+*events* are not shipped (aggregates only); they are accounted in
+``parallel.worker_events_dropped``, and each merged capture increments
+``parallel.worker_sessions``. The pool itself counts
+``parallel.pool_tasks`` (tasks settled by a pool),
+``parallel.worker_cache_warm_hits`` (tasks that found their context
+already materialized on the worker) and ``parallel.shm_bytes``.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import multiprocessing.connection
 import os
+import pickle
 import time
 import traceback
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.exceptions import ParallelExecutionError
@@ -63,13 +88,14 @@ from repro.obs import telemetry as obs
 __all__ = [
     "ParallelExecutionError",
     "TaskFailure",
+    "WorkerPool",
     "parallel_map",
     "resolve_jobs",
 ]
 
 #: Environment override for the default worker count (CLI ``--jobs 0``
 #: and drivers called with ``jobs=0`` resolve through this, then the
-#: machine's CPU count).
+#: process's CPU affinity mask).
 JOBS_ENV_VAR = "TECFAN_JOBS"
 
 #: Environment defaults for the resilience knobs, so deep drivers that
@@ -77,6 +103,10 @@ JOBS_ENV_VAR = "TECFAN_JOBS"
 #: ``--job-timeout-s`` / ``--job-retries`` flags set these).
 TIMEOUT_ENV_VAR = "TECFAN_JOB_TIMEOUT_S"
 RETRIES_ENV_VAR = "TECFAN_JOB_RETRIES"
+
+#: Results whose out-of-band numpy payload reaches this many bytes move
+#: through a shared-memory block instead of the result pipe.
+SHM_MIN_BYTES = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -117,11 +147,23 @@ def _resolve_retries(retries: int | None) -> int:
     return 0
 
 
+def available_cpus() -> int:
+    """CPUs this *process* may use: the affinity mask where the OS has
+    one (cgroup/container-limited CI included), else ``os.cpu_count()``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``--jobs`` value to an effective worker count.
 
     ``None`` or ``1`` mean serial (returns 1). ``0`` means "auto": the
-    ``TECFAN_JOBS`` environment variable if set, else ``os.cpu_count()``.
+    ``TECFAN_JOBS`` environment variable if set, else the process's CPU
+    affinity mask (:func:`available_cpus` — not raw ``os.cpu_count()``,
+    so a cgroup-limited container never oversubscribes the pool).
     Negative values are a configuration error.
     """
     if jobs is None:
@@ -133,26 +175,169 @@ def resolve_jobs(jobs: int | None) -> int:
         env = os.environ.get(JOBS_ENV_VAR)
         if env is not None and env.strip():
             return max(1, int(env))
-        return os.cpu_count() or 1
+        return available_cpus()
     return jobs
 
 
-def _invoke(fn: Callable, index: int, payload, capture: bool) -> tuple:
-    """Worker-side wrapper: never lets an exception escape unpickled.
+# ----------------------------------------------------------------------
+# Result transport: pickle-5 out-of-band buffers, shared memory for bulk
+# ----------------------------------------------------------------------
+def _encode_result(value) -> tuple[tuple, int]:
+    """Worker-side: serialize ``value``; bulk arrays go to shared memory.
 
-    With ``capture`` (the parent had an active telemetry session), the
-    task runs under its own worker session and the fourth slot carries
-    the picklable aggregate capture; otherwise it is ``None``.
+    Returns ``(descriptor, shm_bytes)``. The descriptor is either
+    ``("inline", data, [raw bytes...])`` or
+    ``("shm", name, [lengths...], data)`` where ``data`` is the
+    protocol-5 pickle whose out-of-band buffers were extracted.
+    """
+    buffers: list = []
+    data = pickle.dumps(value, protocol=5, buffer_callback=buffers.append)
+    raws = [b.raw() for b in buffers]
+    total = sum(len(r) for r in raws)
+    if total >= SHM_MIN_BYTES:
+        shm = _create_shm(total)
+        if shm is not None:
+            offset = 0
+            lengths = []
+            for r in raws:
+                n = len(r)
+                shm.buf[offset : offset + n] = r
+                lengths.append(n)
+                offset += n
+            name = shm.name
+            shm.close()
+            return ("shm", name, lengths, data), total
+    return ("inline", data, [bytes(r) for r in raws]), 0
+
+
+def _create_shm(size: int):
+    """Create a shared-memory block the *parent* will own and unlink.
+
+    Returns ``None`` when shared memory is unavailable (the caller
+    falls back to inline pipe transport). The creating worker
+    unregisters the block from its resource tracker — ownership
+    transfers to the parent, which unlinks after copying out.
     """
     try:
-        if capture:
-            from repro.obs.merge import run_captured
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - always present on CPython
+        return None
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, size))
+    except OSError:  # /dev/shm missing or full: degrade gracefully
+        return None
+    try:  # the parent takes ownership; silence this process's tracker
+        from multiprocessing import resource_tracker
 
-            result, wtel = run_captured(fn, payload)
-            return (index, True, result, wtel)
-        return (index, True, fn(payload), None)
-    except BaseException:
-        return (index, False, traceback.format_exc(), None)
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    return shm
+
+
+def _decode_result(desc: tuple):
+    """Parent-side inverse of :func:`_encode_result`.
+
+    Out-of-band buffers are copied into parent-owned ``bytearray``
+    storage before unpickling, so reconstructed arrays are writable and
+    independent of the (immediately unlinked) shared-memory block.
+    """
+    kind = desc[0]
+    if kind == "inline":
+        _, data, raws = desc
+        return pickle.loads(data, buffers=[bytearray(r) for r in raws])
+    _, name, lengths, data = desc
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        buffers = []
+        offset = 0
+        for n in lengths:
+            buffers.append(bytearray(shm.buf[offset : offset + n]))
+            offset += n
+        return pickle.loads(data, buffers=buffers)
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker process body
+# ----------------------------------------------------------------------
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: recv tasks, keep context + session warm.
+
+    Protocol (parent -> worker):
+
+    - ``("ctx", token, blob)`` — install a shared context (unpickled
+      once, reused by every subsequent task carrying ``token``);
+    - ``("task", task_id, fn, payload, token, capture)`` — run one task
+      (``fn(context, payload)`` when ``token`` is not None, else
+      ``fn(payload)``); ``capture`` asks for a telemetry capture;
+    - ``("stop",)`` — exit cleanly.
+
+    Worker -> parent:
+
+    - ``("ok", task_id, descriptor, wtel, warm, shm_bytes)``;
+    - ``("err", task_id, traceback_text, warm)``.
+    """
+    from repro.obs.merge import PersistentWorkerSession
+
+    session = PersistentWorkerSession()
+    ctx_token = None
+    ctx_obj = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        op = msg[0]
+        if op == "stop":
+            break
+        if op == "ctx":
+            ctx_token = msg[1]
+            ctx_obj = pickle.loads(msg[2])
+            continue
+        _, task_id, fn, payload, token, capture = msg
+        warm = token is not None and token == ctx_token
+        try:
+            if token is not None and token != ctx_token:
+                raise RuntimeError(
+                    f"pool protocol error: context {token} not installed"
+                )
+            if token is not None:
+                bound_fn, bound_payload = fn, payload
+
+                def call(f=bound_fn, p=bound_payload, c=ctx_obj):
+                    return f(c, p)
+
+            else:
+
+                def call(f=fn, p=payload):
+                    return f(p)
+
+            if capture:
+                result, wtel = session.run(call)
+            else:
+                result, wtel = call(), None
+            desc, shm_bytes = _encode_result(result)
+            reply = ("ok", task_id, desc, wtel, warm, shm_bytes)
+        except BaseException:
+            reply = ("err", task_id, traceback.format_exc(), warm)
+        try:
+            conn.send(reply)
+        except BaseException:
+            break  # parent went away or reply unpicklable: exit code tells
+    conn.close()
+
+
+def _prime_task(_payload) -> None:
+    """No-op task used by :meth:`WorkerPool.prime` to force imports."""
+    return None
 
 
 def _merge_worker(index: int, wtel) -> None:
@@ -167,38 +352,343 @@ def _merge_worker(index: int, wtel) -> None:
     )
 
 
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+@dataclass
+class _PoolWorker:
+    """One live worker process and its dispatch state."""
+
+    proc: mp.process.BaseProcess
+    conn: mp.connection.Connection
+    #: Context token currently materialized in the worker.
+    ctx_token: int | None = None
+    #: In-flight dispatch: ``(task_id, index, attempt, deadline)``.
+    task: tuple | None = field(default=None)
+
+
+class WorkerPool:
+    """Persistent spawn-process pool with warm context reuse.
+
+    Workers are spawned lazily (at most ``jobs``), live until
+    :meth:`close`, and keep both their interpreter (imports) and any
+    installed shared context — with all its thermal caches — warm
+    between tasks and between :meth:`map` calls. Use as a context
+    manager, or pass an instance to :func:`parallel_map` via ``pool=``
+    to share one fleet across several batches::
+
+        with WorkerPool(16) as pool:
+            pool.prime()                     # spawn + import now
+            a = pool.map(fn, batch_a, context=engine_a)
+            b = pool.map(fn, batch_b, context=engine_b)
+    """
+
+    def __init__(self, jobs: int = 0):
+        self.jobs = resolve_jobs(jobs if jobs != 1 else 1)
+        self._mp = mp.get_context("spawn")
+        self._idle: list[_PoolWorker] = []
+        self._busy: list[_PoolWorker] = []
+        self._ctx_tokens = itertools.count(1)
+        self._task_ids = itertools.count()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def n_workers(self) -> int:
+        """Live worker processes (idle + busy)."""
+        return len(self._idle) + len(self._busy)
+
+    def _spawn(self) -> _PoolWorker:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        proc = self._mp.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _PoolWorker(proc=proc, conn=parent_conn)
+
+    def _ensure_workers(self, want: int) -> None:
+        while self.n_workers < min(want, self.jobs):
+            self._idle.append(self._spawn())
+
+    def _retire(self, worker: _PoolWorker, kill: bool = False) -> None:
+        """Remove a worker from the pool (killing it if asked)."""
+        if worker in self._busy:
+            self._busy.remove(worker)
+        if worker in self._idle:
+            self._idle.remove(worker)
+        if kill:
+            worker.proc.kill()
+        worker.proc.join()
+        worker.conn.close()
+
+    def prime(self) -> int:
+        """Spawn every worker now and round-trip a no-op task through
+        each, so interpreter start-up and package imports are paid
+        before the first real batch. Returns the worker count."""
+        self._ensure_workers(self.jobs)
+        self.map(_prime_task, list(range(self.n_workers)), capture=False)
+        return self.n_workers
+
+    def close(self) -> None:
+        """Stop every worker. Idle workers exit cleanly; stragglers
+        (and any still-busy worker) are killed."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self._busy):
+            self._retire(worker, kill=True)
+        for worker in self._idle:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._idle:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join()
+            worker.conn.close()
+        self._idle.clear()
+
+    # -- scheduling ----------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        *,
+        context=None,
+        timeout_s: float | None = None,
+        retries: int | None = None,
+        backoff_s: float = 0.1,
+        on_error: str = "raise",
+        capture: bool | None = None,
+    ) -> list:
+        """``[fn(p) for p in payloads]`` (or ``fn(context, p)``) across
+        the pool's workers; results in payload order.
+
+        See :func:`parallel_map` for parameter semantics — this is its
+        pooled engine. ``capture`` overrides the telemetry-capture
+        decision (default: capture iff the parent has a session).
+        """
+        if self._closed:
+            raise ParallelExecutionError([(-1, "pool is closed")])
+        if on_error not in ("raise", "collect"):
+            raise ParallelExecutionError(
+                [(-1, f"invalid on_error value {on_error!r}")]
+            )
+        payloads = list(payloads)
+        timeout_s = _resolve_timeout(timeout_s)
+        retries = _resolve_retries(retries)
+        if capture is None:
+            capture = obs.get_telemetry() is not None
+
+        token = None
+        ctx_blob = None
+        if context is not None:
+            token = next(self._ctx_tokens)
+            ctx_blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+
+        results: list = [None] * len(payloads)
+        failures: list[tuple[int, str]] = []
+        # Captures keyed by task index: completion order is
+        # nondeterministic, so merging is deferred to task-index order.
+        captured: dict[int, object] = {}
+        # (index, attempt, not_before) — FIFO except for backoff holds.
+        queue: deque = deque((i, 0, 0.0) for i in range(len(payloads)))
+        pending = len(payloads)
+
+        def settle(index: int, attempt: int, kind: str, detail: str) -> None:
+            """A failed attempt: schedule a retry or record the failure."""
+            nonlocal pending
+            if attempt < retries:
+                obs.incr("parallel.retries")
+                not_before = time.monotonic() + backoff_s * (2.0**attempt)
+                queue.append((index, attempt + 1, not_before))
+                return
+            pending -= 1
+            obs.incr("parallel.pool_tasks")
+            if on_error == "collect":
+                results[index] = TaskFailure(
+                    index=index,
+                    kind=kind,
+                    detail=detail,
+                    attempts=attempt + 1,
+                )
+            else:
+                failures.append((index, f"[{kind}] {detail}"))
+
+        def dispatch(worker: _PoolWorker, index: int, attempt: int) -> bool:
+            """Send one task; False (and re-queue) if the worker died."""
+            try:
+                if token is not None and worker.ctx_token != token:
+                    worker.conn.send(("ctx", token, ctx_blob))
+                    worker.ctx_token = token
+                task_id = next(self._task_ids)
+                worker.conn.send(
+                    ("task", task_id, fn, payloads[index], token, capture)
+                )
+            except (BrokenPipeError, OSError):
+                self._retire(worker, kill=True)
+                queue.appendleft((index, attempt, 0.0))
+                return False
+            worker.task = (
+                task_id,
+                index,
+                attempt,
+                time.monotonic() + timeout_s if timeout_s is not None else None,
+            )
+            self._busy.append(worker)
+            return True
+
+        try:
+            while pending > 0:
+                self._ensure_workers(len(queue) + len(self._busy))
+                now = time.monotonic()
+                held = []
+                while queue and self._idle:
+                    index, attempt, not_before = queue.popleft()
+                    if not_before > now:
+                        held.append((index, attempt, not_before))
+                        continue
+                    dispatch(self._idle.pop(), index, attempt)
+                queue.extend(held)
+
+                if not self._busy:
+                    if not queue:  # pragma: no cover - settled via retire
+                        break
+                    # Everything pending is in a backoff hold.
+                    next_up = min(nb for _, _, nb in queue)
+                    time.sleep(max(0.0, next_up - time.monotonic()))
+                    continue
+
+                deadlines = [
+                    w.task[3] for w in self._busy if w.task[3] is not None
+                ]
+                holds = [
+                    nb for _, _, nb in queue if nb > time.monotonic()
+                ]
+                wake = (
+                    min(deadlines + holds) if (deadlines or holds) else None
+                )
+                wait_s = (
+                    max(0.0, wake - time.monotonic())
+                    if wake is not None
+                    else None
+                )
+                ready = mp.connection.wait(
+                    [w.conn for w in self._busy], timeout=wait_s
+                )
+
+                now = time.monotonic()
+                for worker in list(self._busy):
+                    task_id, index, attempt, deadline = worker.task
+                    if worker.conn in ready:
+                        try:
+                            msg = worker.conn.recv()
+                        except (EOFError, OSError):
+                            msg = None
+                        if msg is None:
+                            self._retire(worker)
+                            settle(
+                                index,
+                                attempt,
+                                "died",
+                                f"worker exited with code "
+                                f"{worker.proc.exitcode} before reporting "
+                                "a result",
+                            )
+                            continue
+                        worker.task = None
+                        self._busy.remove(worker)
+                        self._idle.append(worker)
+                        if msg[0] == "ok":
+                            _, _, desc, wtel, warm, shm_bytes = msg
+                            results[index] = _decode_result(desc)
+                            pending -= 1
+                            obs.incr("parallel.pool_tasks")
+                            if warm:
+                                obs.incr("parallel.worker_cache_warm_hits")
+                            if shm_bytes:
+                                obs.incr("parallel.shm_bytes", shm_bytes)
+                            if wtel is not None:
+                                captured[index] = wtel
+                        else:
+                            settle(index, attempt, "error", msg[2])
+                    elif deadline is not None and now >= deadline:
+                        obs.incr("parallel.timeouts")
+                        self._retire(worker, kill=True)
+                        settle(
+                            index,
+                            attempt,
+                            "timeout",
+                            f"attempt exceeded {timeout_s:g} s deadline",
+                        )
+        except BaseException:
+            # Unexpected escape: drop in-flight workers so a stale reply
+            # can never leak into a later map() on a reused pool.
+            for worker in list(self._busy):
+                self._retire(worker, kill=True)
+            raise
+
+        for index in sorted(captured):
+            _merge_worker(index, captured[index])
+        if failures:
+            failures.sort(key=lambda f: f[0])
+            raise ParallelExecutionError(failures)
+        return results
+
+
+# ----------------------------------------------------------------------
+# The drop-in map front end
+# ----------------------------------------------------------------------
 def parallel_map(
     fn: Callable,
     payloads: Sequence,
     jobs: int | None = None,
     *,
+    context=None,
     timeout_s: float | None = None,
     retries: int | None = None,
     backoff_s: float = 0.1,
     on_error: str = "raise",
+    pool: WorkerPool | None = None,
 ) -> list:
-    """``[fn(p) for p in payloads]`` across worker processes.
+    """``[fn(p) for p in payloads]`` across persistent worker processes.
 
     Parameters
     ----------
     fn:
-        A module-level (spawn-picklable) function of one argument.
+        A module-level (spawn-picklable) function. Called ``fn(payload)``
+        without a context, ``fn(context, payload)`` with one.
     payloads:
         Picklable task inputs; one worker call each.
     jobs:
         Worker count: ``None``/``1`` serial in-process, ``0`` auto
-        (``TECFAN_JOBS`` env var, else CPU count), ``N > 1`` that many
-        processes.
+        (``TECFAN_JOBS`` env var, else the CPU affinity mask), ``N > 1``
+        that many pooled workers.
+    context:
+        Optional shared input shipped to each worker **once** and
+        reused warm across its tasks (see the module docstring's
+        cache-reuse contract). The serial path shares the same context
+        object across all tasks, so semantics match exactly.
     timeout_s:
-        Per-attempt wall-clock deadline; an attempt still running at the
-        deadline is killed (``parallel.timeouts`` counter) and counts as
-        a failed attempt. ``None`` defers to ``TECFAN_JOB_TIMEOUT_S``
+        Per-attempt wall-clock deadline measured from dispatch; an
+        attempt still running at the deadline is killed with its worker
+        (``parallel.timeouts`` counter) — the pool replaces the worker
+        and carries on. ``None`` defers to ``TECFAN_JOB_TIMEOUT_S``
         (unset or <= 0 means no deadline). Serial runs cannot be
         interrupted, so the deadline only applies with ``jobs > 1``.
     retries:
         Extra attempts per task after the first fails or times out, with
-        exponential backoff (``backoff_s * 2**attempt``); each re-launch
-        increments ``parallel.retries``. ``None`` defers to
+        exponential backoff (``backoff_s * 2**attempt``); each
+        re-dispatch increments ``parallel.retries``. ``None`` defers to
         ``TECFAN_JOB_RETRIES`` (default 0).
     backoff_s:
         Base delay before a retry attempt [s].
@@ -208,10 +698,15 @@ def parallel_map(
         tasks finish. ``"collect"``: never raise; terminally-failed
         tasks yield a :class:`TaskFailure` (falsy) at their index so the
         surviving results are usable.
+    pool:
+        An existing :class:`WorkerPool` to run on (kept open, so its
+        workers — and their warm contexts — survive for the next call).
+        Without one, a private pool is created and closed around this
+        call.
 
     Returns
     -------
-    Results in payload order.
+    Results in payload order — bit-identical to the serial run.
 
     Raises
     ------
@@ -223,22 +718,23 @@ def parallel_map(
             [(-1, f"invalid on_error value {on_error!r}")]
         )
     payloads = list(payloads)
-    n = resolve_jobs(jobs)
+    n = pool.jobs if pool is not None else resolve_jobs(jobs)
     timeout_s = _resolve_timeout(timeout_s)
     retries = _resolve_retries(retries)
 
     if n <= 1 or len(payloads) <= 1:
-        return _serial_map(fn, payloads, retries, backoff_s, on_error)
-
-    # Worker telemetry capture: only when the parent has a session to
-    # merge into (otherwise workers skip the wrapper entirely).
-    capture = obs.get_telemetry() is not None
-    if timeout_s is None and retries == 0 and on_error == "raise":
-        # Classic fast path: one long-lived pool, no per-task process.
-        return _pool_map(fn, payloads, n, capture)
-    return _resilient_map(
-        fn, payloads, n, timeout_s, retries, backoff_s, on_error, capture
+        return _serial_map(fn, payloads, retries, backoff_s, on_error, context)
+    kwargs = dict(
+        context=context,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        on_error=on_error,
     )
+    if pool is not None:
+        return pool.map(fn, payloads, **kwargs)
+    with WorkerPool(n) as private:
+        return private.map(fn, payloads, **kwargs)
 
 
 def _serial_map(
@@ -247,6 +743,7 @@ def _serial_map(
     retries: int,
     backoff_s: float,
     on_error: str,
+    context=None,
 ) -> list:
     """In-process execution: retries apply, deadlines cannot."""
     results: list = []
@@ -254,7 +751,9 @@ def _serial_map(
     for i, p in enumerate(payloads):
         for attempt in range(retries + 1):
             try:
-                results.append(fn(p))
+                results.append(
+                    fn(p) if context is None else fn(context, p)
+                )
                 break
             except Exception:
                 if attempt < retries:
@@ -278,208 +777,5 @@ def _serial_map(
                     )
                 break
     if failures:
-        raise ParallelExecutionError(failures)
-    return results
-
-
-def _pool_map(fn: Callable, payloads: list, n: int, capture: bool) -> list:
-    """The zero-resilience fast path (original pool semantics)."""
-    results: list = [None] * len(payloads)
-    failures: list = []
-    ctx = mp.get_context("spawn")
-    with ProcessPoolExecutor(
-        max_workers=min(n, len(payloads)), mp_context=ctx
-    ) as pool:
-        futures = [
-            pool.submit(_invoke, fn, i, p, capture)
-            for i, p in enumerate(payloads)
-        ]
-        # Iterating in submission order also merges worker telemetry in
-        # task order, keeping last-writer gauge merges deterministic.
-        for fut in futures:
-            index, ok, value, wtel = fut.result()
-            if ok:
-                results[index] = value
-                _merge_worker(index, wtel)
-            else:
-                failures.append((index, value))
-    if failures:
-        failures.sort(key=lambda f: f[0])
-        raise ParallelExecutionError(failures)
-    return results
-
-
-def _pipe_invoke(conn, fn: Callable, payload, capture: bool) -> None:
-    """Resilient-path worker body: report through the pipe, then exit."""
-    try:
-        if capture:
-            from repro.obs.merge import run_captured
-
-            value, wtel = run_captured(fn, payload)
-            result = (True, value, wtel)
-        else:
-            result = (True, fn(payload), None)
-    except BaseException:
-        result = (False, traceback.format_exc(), None)
-    try:
-        conn.send(result)
-    except BaseException:
-        pass  # parent killed us or result unpicklable; exit code tells
-    finally:
-        conn.close()
-
-
-@dataclass
-class _Attempt:
-    """One in-flight worker attempt of the resilient path."""
-
-    index: int
-    attempt: int
-    proc: mp.process.BaseProcess
-    conn: mp.connection.Connection
-    deadline: float | None
-
-
-def _resilient_map(
-    fn: Callable,
-    payloads: list,
-    n: int,
-    timeout_s: float | None,
-    retries: int,
-    backoff_s: float,
-    on_error: str,
-    capture: bool,
-) -> list:
-    """Per-task processes with deadline kill, retry, partial results.
-
-    A hung worker cannot be cancelled through ``ProcessPoolExecutor``
-    (it only abandons queued futures), so every attempt gets its own
-    spawn process the parent can ``kill()`` at the deadline. Start-up
-    costs one interpreter per attempt — acceptable for simulation tasks
-    that run seconds each, which is what this path exists for.
-    """
-    ctx = mp.get_context("spawn")
-    results: list = [None] * len(payloads)
-    failures: list[tuple[int, str]] = []
-    # Worker captures keyed by task index: completion order is
-    # nondeterministic, so merging is deferred and done in index order.
-    captured: dict[int, object] = {}
-    # (index, attempt, not_before) — FIFO except for backoff holds.
-    queue: deque = deque(
-        (i, 0, 0.0) for i in range(len(payloads))
-    )
-    active: list[_Attempt] = []
-
-    def settle(index: int, attempt: int, kind: str, detail: str) -> None:
-        """A failed attempt: schedule a retry or record the failure."""
-        if attempt < retries:
-            obs.incr("parallel.retries")
-            not_before = time.monotonic() + backoff_s * (2.0**attempt)
-            queue.append((index, attempt + 1, not_before))
-            return
-        if on_error == "collect":
-            results[index] = TaskFailure(
-                index=index,
-                kind=kind,
-                detail=detail,
-                attempts=attempt + 1,
-            )
-        else:
-            failures.append((index, f"[{kind}] {detail}"))
-
-    try:
-        while queue or active:
-            # Launch while there is capacity and a ready task.
-            now = time.monotonic()
-            held = []
-            while queue and len(active) < n:
-                index, attempt, not_before = queue.popleft()
-                if not_before > now:
-                    held.append((index, attempt, not_before))
-                    continue
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_pipe_invoke,
-                    args=(child_conn, fn, payloads[index], capture),
-                )
-                proc.start()
-                child_conn.close()
-                active.append(
-                    _Attempt(
-                        index=index,
-                        attempt=attempt,
-                        proc=proc,
-                        conn=parent_conn,
-                        deadline=(
-                            now + timeout_s if timeout_s is not None else None
-                        ),
-                    )
-                )
-            queue.extend(held)
-
-            if not active:
-                # Everything pending is in a backoff hold.
-                next_up = min(nb for _, _, nb in queue)
-                time.sleep(max(0.0, next_up - time.monotonic()))
-                continue
-
-            deadlines = [a.deadline for a in active if a.deadline is not None]
-            holds = [nb for _, _, nb in queue if nb > time.monotonic()]
-            wake = min(deadlines + holds) if (deadlines or holds) else None
-            wait_s = (
-                max(0.0, wake - time.monotonic()) if wake is not None else None
-            )
-            ready = mp.connection.wait(
-                [a.conn for a in active], timeout=wait_s
-            )
-
-            still_active: list[_Attempt] = []
-            now = time.monotonic()
-            for a in active:
-                if a.conn in ready:
-                    try:
-                        ok, value, wtel = a.conn.recv()
-                    except (EOFError, OSError):
-                        ok, value, wtel = False, None, None
-                    a.conn.close()
-                    a.proc.join()
-                    if ok:
-                        results[a.index] = value
-                        if wtel is not None:
-                            captured[a.index] = wtel
-                    elif value is not None:
-                        settle(a.index, a.attempt, "error", value)
-                    else:
-                        settle(
-                            a.index,
-                            a.attempt,
-                            "died",
-                            f"worker exited with code {a.proc.exitcode} "
-                            "before reporting a result",
-                        )
-                elif a.deadline is not None and now >= a.deadline:
-                    obs.incr("parallel.timeouts")
-                    a.proc.kill()
-                    a.proc.join()
-                    a.conn.close()
-                    settle(
-                        a.index,
-                        a.attempt,
-                        "timeout",
-                        f"attempt exceeded {timeout_s:g} s deadline",
-                    )
-                else:
-                    still_active.append(a)
-            active = still_active
-    finally:
-        for a in active:  # only on an unexpected escape
-            a.proc.kill()
-            a.proc.join()
-            a.conn.close()
-
-    for index in sorted(captured):
-        _merge_worker(index, captured[index])
-    if failures:
-        failures.sort(key=lambda f: f[0])
         raise ParallelExecutionError(failures)
     return results

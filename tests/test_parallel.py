@@ -56,6 +56,18 @@ def test_resolve_jobs_env_override(monkeypatch):
     assert resolve_jobs(2) == 2
 
 
+def test_resolve_jobs_auto_honors_cpu_affinity(monkeypatch):
+    # A cgroup-limited container may report 64 cpu_count() cores but
+    # only 3 in the affinity mask — auto must size the pool to the mask.
+    monkeypatch.delenv("TECFAN_JOBS", raising=False)
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 2, 5})
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    assert resolve_jobs(0) == 3
+    # Without the syscall (non-Linux), fall back to cpu_count().
+    monkeypatch.delattr(os, "sched_getaffinity")
+    assert resolve_jobs(0) == 64
+
+
 def test_serial_path_runs_in_process():
     calls = []
 

@@ -1,0 +1,236 @@
+"""Persistent worker-pool runtime: identity, resilience, warm reuse.
+
+Worker functions live at module level: the spawn start method pickles
+them by qualified name and re-imports this module in each child.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.faultmatrix import run_fault_matrix
+from repro.core.baselines import FanTECController
+from repro.core.engine import EngineConfig, SimulationEngine, run_fan_sweep
+from repro.core.problem import EnergyProblem
+from repro.core.system import build_system
+from repro.obs import Telemetry, telemetry_session
+from repro.parallel import TaskFailure, WorkerPool, parallel_map
+from repro.perf import splash2_workload
+from repro.perf.splash2 import REF_FREQ_GHZ
+from repro.perf.workload import WorkloadRun
+
+_TRACE_FIELDS = (
+    "time_s",
+    "dt_s",
+    "peak_temp_c",
+    "p_chip_w",
+    "p_tec_w",
+    "p_fan_w",
+    "ips_chip",
+    "tec_on",
+    "fan_level",
+    "mean_dvfs_level",
+)
+
+
+def assert_results_identical(a, b) -> None:
+    """PR 3's bit-identity check: every trace field, metrics, state."""
+    for fld in _TRACE_FIELDS:
+        assert np.array_equal(
+            getattr(a.trace, fld), getattr(b.trace, fld)
+        ), fld
+    assert a.metrics == b.metrics
+    assert np.array_equal(a.final_state.tec, b.final_state.tec)
+    assert np.array_equal(a.final_state.dvfs, b.final_state.dvfs)
+    assert a.final_state.fan_level == b.final_state.fan_level
+
+
+def _small_setup():
+    system = build_system(rows=2, cols=2)
+    wl = splash2_workload("lu", 4, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=70.0),
+        EngineConfig(max_time_s=0.02),
+    )
+    return system, wl, engine
+
+
+# ----------------------------------------------------------------------
+# serial-vs-pool bit-identity (the drop-in-replacement contract)
+# ----------------------------------------------------------------------
+def test_fan_sweep_pool_bit_identical_to_serial():
+    system, wl, engine = _small_setup()
+
+    def make_run():
+        return WorkloadRun(wl, system.chip, REF_FREQ_GHZ)
+
+    chosen_s, sweep_s = run_fan_sweep(
+        engine, make_run, FanTECController(), jobs=None
+    )
+    chosen_p, sweep_p = run_fan_sweep(
+        engine, make_run, FanTECController(), jobs=2
+    )
+    assert_results_identical(chosen_s, chosen_p)
+    assert sweep_s == sweep_p  # RunMetrics dataclasses, field for field
+
+
+def _outcomes_equal(a, b) -> bool:
+    if (a.scenario, a.hardened, a.crashed, a.error) != (
+        b.scenario,
+        b.hardened,
+        b.crashed,
+        b.error,
+    ):
+        return False
+    if a.counters != b.counters:
+        return False
+    for fld in ("peak_temp_c", "excess_frac", "violation_rate", "energy_j"):
+        x, y = getattr(a, fld), getattr(b, fld)
+        if x != y and not (math.isnan(x) and math.isnan(y)):
+            return False
+    return True
+
+
+def test_fault_matrix_pool_matches_serial():
+    system = build_system(rows=2, cols=2)
+    kwargs = dict(
+        workload="lu",
+        threads=4,
+        max_time_s=0.1,
+        t_fault_s=0.004,
+        mission_scale=2,
+    )
+    serial = run_fault_matrix(system, jobs=None, **kwargs)
+    pooled = run_fault_matrix(system, jobs=2, **kwargs)
+    assert serial.t_threshold_c == pooled.t_threshold_c
+    assert serial.hot_component == pooled.hot_component
+    # reference + (4 scenarios x 2 variants - the rerun (none, raw)) = 8
+    assert len(serial.outcomes) == len(pooled.outcomes) == 8
+    for a, b in zip(serial.outcomes, pooled.outcomes):
+        assert _outcomes_equal(a, b), (a.scenario, a.hardened)
+
+
+# ----------------------------------------------------------------------
+# resilience on the pool: timeout kill + worker replacement
+# ----------------------------------------------------------------------
+def _hang_or_square(payload):
+    if payload == "hang":
+        time.sleep(600.0)
+    return payload * payload
+
+
+def test_timeout_kills_task_and_replaces_worker():
+    tel = Telemetry()
+    with telemetry_session(tel):
+        out = parallel_map(
+            _hang_or_square,
+            [1, "hang", 2, 3, 4, 5],
+            jobs=2,
+            timeout_s=10.0,
+            on_error="collect",
+        )
+    # The hung task settles as a timeout failure at its own index...
+    failure = out[1]
+    assert isinstance(failure, TaskFailure)
+    assert failure.kind == "timeout"
+    assert failure.attempts == 1
+    assert not failure
+    # ...and the pool replaced the killed worker: every other task —
+    # including those queued behind the hang — still completed.
+    assert out[0] == 1 and out[2:] == [4, 9, 16, 25]
+    assert tel.metrics.counter("parallel.timeouts").value == 1
+    assert tel.metrics.counter("parallel.pool_tasks").value == 6
+
+
+# ----------------------------------------------------------------------
+# warm context reuse + counters
+# ----------------------------------------------------------------------
+def _count_with_context(ctx, payload):
+    # The shared context is a mutable list the worker keeps between
+    # tasks: its growth is only visible if the *same* object is reused.
+    ctx.append(payload)
+    return len(ctx)
+
+
+def test_context_object_is_reused_warm_across_tasks():
+    tel = Telemetry()
+    with telemetry_session(tel):
+        out = parallel_map(
+            _count_with_context, list(range(6)), jobs=2, context=[]
+        )
+    # 6 tasks on 2 workers: some worker saw its context grow.
+    assert max(out) > 1
+    assert sum(out) >= 6
+    # Every dispatch after a worker's first found the context installed.
+    warm = tel.metrics.counter("parallel.worker_cache_warm_hits").value
+    assert warm >= 6 - 2
+    assert tel.metrics.counter("parallel.pool_tasks").value == 6
+
+
+def _instrumented_task(x):
+    from repro.obs import telemetry as obs
+
+    obs.incr("task.calls")
+    obs.incr("task.units", x)
+    return x
+
+
+def test_counter_conservation_with_warm_workers():
+    # Counter totals must not depend on how tasks landed on (warm)
+    # workers: jobs=2 over 8 tasks merges exactly the serial totals.
+    def totals(jobs):
+        tel = Telemetry()
+        with telemetry_session(tel):
+            parallel_map(_instrumented_task, list(range(8)), jobs=jobs)
+        return {
+            n: c.value
+            for n, c in tel.metrics._counters.items()
+            if not n.startswith("parallel.")
+        }
+
+    serial = totals(None)
+    pooled = totals(2)
+    assert serial == {"task.calls": 8, "task.units": 28}
+    assert pooled == serial
+    # And the merge provenance is intact: one capture per task.
+    tel = Telemetry()
+    with telemetry_session(tel):
+        parallel_map(_instrumented_task, list(range(8)), jobs=2)
+    assert tel.metrics.counter("parallel.worker_sessions").value == 8
+
+
+# ----------------------------------------------------------------------
+# shared-memory result transport
+# ----------------------------------------------------------------------
+def _big_trace(n):
+    return np.arange(float(n)), {"n": n}
+
+
+def test_bulk_results_ride_shared_memory():
+    tel = Telemetry()
+    with telemetry_session(tel):
+        out = parallel_map(_big_trace, [50_000, 60_000], jobs=2)
+    for arr, meta in out:
+        assert arr.shape == (meta["n"],)
+        assert np.array_equal(arr, np.arange(float(meta["n"])))
+        arr[0] = -1.0  # parent owns the memory: writable, no shm backing
+    # 2 float64 arrays >= 64 KiB each moved out-of-band.
+    assert tel.metrics.counter("parallel.shm_bytes").value >= 2 * 50_000 * 8
+
+
+def _worker_pid(_payload):
+    return os.getpid()
+
+
+def test_pool_persists_workers_across_map_calls():
+    with WorkerPool(2) as pool:
+        pool.prime()
+        first = set(pool.map(_worker_pid, list(range(8))))
+        second = set(pool.map(_worker_pid, list(range(8))))
+    assert first == second  # same processes served both batches
+    assert len(first) <= 2
