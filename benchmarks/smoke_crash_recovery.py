@@ -1,0 +1,149 @@
+"""Crash-recovery smoke gate: SIGKILL a run mid-flight, resume, compare.
+
+Two phases, both driven through the real CLI in subprocesses (so the
+kill hits a genuinely independent driver, exactly like a crashed job):
+
+1. **Engine checkpoint/resume** — run ``tecfan run`` once cleanly and
+   record its result digest; launch the same run with periodic
+   checkpoints, SIGKILL it once the first checkpoint lands, then
+   ``tecfan run --resume`` the checkpoint. The resumed digest must be
+   *equal* to the clean one — bit-identity, not tolerance.
+2. **Journaled sweep** — run ``tecfan sweep`` once cleanly and record
+   its full-precision stdout; launch the same sweep with a journal,
+   SIGKILL the driver once part of the sweep is journaled, re-run with
+   the same journal, and require stdout equal to the clean run's.
+
+Exit status is the gate: 0 on bit-identical recovery, 1 otherwise.
+Accepts ``--smoke`` (the CI flag other benchmarks use) as a no-op —
+this script *is* the smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+RUN_ARGS = ["run", "--max-time-s", "0.05"]
+SWEEP_ARGS = ["sweep", "--max-time-s", "0.03", "--jobs", "2"]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return env
+
+
+def _cli(args: list[str]) -> str:
+    """Run the CLI to completion; returns stdout (raises on failure)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(),
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"tecfan {' '.join(args)} failed ({proc.returncode}):\n"
+            f"{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def _cli_killed(args: list[str], ready) -> None:
+    """Launch the CLI, SIGKILL it as soon as ``ready()`` is true."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(),
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 300.0
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                return  # finished before the kill: recovery still tested
+            if ready():
+                break
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        proc.wait()
+
+
+def _digest(stdout: str) -> str:
+    for line in stdout.splitlines():
+        if line.startswith("digest: "):
+            return line.split(" ", 1)[1]
+    raise SystemExit(f"no digest line in CLI output:\n{stdout}")
+
+
+def phase_engine(workdir: str) -> None:
+    clean = _digest(_cli(RUN_ARGS))
+    ck = os.path.join(workdir, "engine.ckpt")
+    _cli_killed(
+        RUN_ARGS + ["--checkpoint", ck, "--checkpoint-every-s", "0.01"],
+        ready=lambda: os.path.exists(ck),
+    )
+    if not os.path.exists(ck):
+        raise SystemExit("driver died before writing any checkpoint")
+    resumed = _digest(_cli(["run", "--resume", ck]))
+    if resumed != clean:
+        raise SystemExit(
+            f"resumed digest {resumed} != clean digest {clean}"
+        )
+    print(f"engine checkpoint/resume: bit-identical ({clean[:16]}...)")
+
+
+def phase_sweep(workdir: str) -> None:
+    clean = _cli(SWEEP_ARGS)
+    journal = os.path.join(workdir, "sweep.tfj")
+
+    def some_tasks_landed() -> bool:
+        # Read-only scan: safe against the live appending driver.
+        sys.path.insert(0, os.path.join(REPO, "src"))
+        from repro.journal import scan_journal
+
+        try:
+            _, _, tasks, _ = scan_journal(journal)
+        except FileNotFoundError:
+            return False
+        return len(tasks) >= 1
+
+    _cli_killed(SWEEP_ARGS + ["--journal", journal], ready=some_tasks_landed)
+    resumed = _cli(SWEEP_ARGS + ["--journal", journal])
+    if resumed != clean:
+        raise SystemExit(
+            "journal-resumed sweep output differs from clean run:\n"
+            f"--- clean ---\n{clean}\n--- resumed ---\n{resumed}"
+        )
+    print("journaled sweep kill/resume: output identical")
+    print(clean.splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="accepted for CI symmetry"
+    )
+    parser.parse_args()
+    with tempfile.TemporaryDirectory() as workdir:
+        phase_engine(workdir)
+        phase_sweep(workdir)
+    print("crash recovery smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -444,6 +444,7 @@ def run_fault_matrix(
     margin_c: float = VIOLATION_MARGIN_C,
     mission_scale: int = 6,
     jobs: int | None = None,
+    journal_path=None,
 ) -> FaultMatrixReport:
     """Run every scenario hardened and unhardened; collect the matrix.
 
@@ -453,14 +454,44 @@ def run_fault_matrix(
     solver caches — shipped once per worker as shared context; each
     cell builds its own engine and fault script, so pooled outcomes
     equal serial ones exactly. The planning prologue stays serial.
+
+    ``journal_path`` makes the matrix crash-recoverable
+    (:mod:`repro.journal`): the serialized plan — prologue included —
+    is cached as a journal meta record and cell outcomes are appended
+    as they complete, so a killed driver re-launched with the same
+    path skips the prologue, replays the journaled cells, and runs
+    only the missing ones. The assembled report is bit-identical to an
+    uninterrupted run's.
     """
     from repro.parallel import parallel_map
 
-    plan = plan_fault_matrix(
-        system, workload, threads, fan_level, max_time_s,
-        t_fault_s, margin_c, mission_scale,
-    )
-    outcomes = parallel_map(
-        _matrix_task, plan.cells, jobs, context=system
-    )
+    journal = None
+    plan = None
+    if journal_path is not None:
+        from repro.journal import TaskJournal
+
+        journal = TaskJournal(
+            journal_path,
+            header={
+                "kind": "fault-matrix",
+                "workload": workload,
+                "threads": threads,
+            },
+        )
+        plan = journal.get_meta("plan")
+    try:
+        if plan is None:
+            plan = plan_fault_matrix(
+                system, workload, threads, fan_level, max_time_s,
+                t_fault_s, margin_c, mission_scale,
+            )
+            if journal is not None:
+                journal.put_meta("plan", plan)
+        outcomes = parallel_map(
+            _matrix_task, plan.cells, jobs, context=system,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     return plan.report(outcomes)

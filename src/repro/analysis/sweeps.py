@@ -72,6 +72,7 @@ def tec_density_sweep(
     fan_level: int = 2,
     t_threshold_c: float | None = None,
     jobs: int | None = None,
+    journal_path=None,
 ) -> list[TECDensityPoint]:
     """How much TEC coverage does hot-spot recovery need?
 
@@ -83,6 +84,10 @@ def tec_density_sweep(
     worker telemetry merges back into the installed session). Each
     point builds its own system, so no shared pool context is shipped —
     the win here is amortizing worker start-up, not cache warmth.
+
+    ``journal_path`` appends each completed grid to a crash-recovery
+    journal (:mod:`repro.journal`); re-running with the same path
+    re-executes only the densities a killed driver never finished.
     """
     # Threshold from the paper-standard platform.
     if t_threshold_c is None:
@@ -99,7 +104,23 @@ def tec_density_sweep(
         (grid, workload, threads, fan_level, t_threshold_c)
         for grid in grids
     ]
-    return parallel_map(_density_point, tasks, jobs)
+    journal = None
+    if journal_path is not None:
+        from repro.journal import TaskJournal
+
+        journal = TaskJournal(
+            journal_path,
+            header={
+                "kind": "tec-density-sweep",
+                "workload": workload,
+                "n_tasks": len(tasks),
+            },
+        )
+    try:
+        return parallel_map(_density_point, tasks, jobs, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 @dataclass(frozen=True)

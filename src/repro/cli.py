@@ -9,6 +9,9 @@ Usage (installed as the ``tecfan`` entry point)::
     tecfan fig7 [--minutes 10]       # server comparison vs OFTEC/Oracle
     tecfan hwcost                    # Sec. III-E hardware cost summary
     tecfan quick                     # one fast end-to-end TECfan demo
+    tecfan run --checkpoint ck.pkl   # checkpointed single simulation
+    tecfan run --resume ck.pkl       # resume it (bit-identical result)
+    tecfan sweep --journal sweep.tfj # crash-recoverable fan sweep
     tecfan profile                   # instrumented run + profile tables
     tecfan profile --load out.jsonl  # re-render a saved telemetry stream
     tecfan trace diff A.jsonl B.jsonl   # span/counter regression gate
@@ -103,6 +106,163 @@ def _cmd_quick(args) -> int:
             f"delay={n['delay']:.3f} energy={n['energy']:.3f} "
             f"edp={n['edp']:.3f}"
         )
+    return 0
+
+
+def _make_controller(name: str):
+    """Resolve a policy name (case-insensitive) to a fresh controller."""
+    from repro.analysis.experiments import make_policies
+
+    policies = make_policies()
+    for policy in policies:
+        if policy.name.lower() == name.lower():
+            return policy
+    known = ", ".join(p.name for p in policies)
+    raise ValueError(f"unknown policy {name!r} (choose from: {known})")
+
+
+def _load_fault_scheduler(path: str, prog: str):
+    """Parse a JSON fault script; returns (scheduler, rc)."""
+    import json
+
+    from repro.exceptions import FaultInjectionError
+    from repro.faults import FaultScheduler
+
+    try:
+        with open(path) as fh:
+            spec = json.load(fh)
+        return FaultScheduler.from_spec(spec), 0
+    except (OSError, json.JSONDecodeError, FaultInjectionError) as exc:
+        print(f"{prog}: bad fault script {path}: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _print_run_result(result) -> None:
+    from repro.checkpoint import result_digest
+
+    m = result.metrics
+    print(
+        f"{m.policy} on {m.workload}: "
+        f"time={m.execution_time_s!r} s power={m.average_power_w!r} W "
+        f"energy={m.energy_j!r} J peak={m.peak_temp_c!r} degC "
+        f"violations={m.violation_rate!r} fan={m.fan_level}"
+    )
+    print(f"digest: {result_digest(result)}")
+
+
+def _cmd_run(args) -> int:
+    """One simulation with optional periodic checkpoints, or a resume."""
+    from repro.exceptions import CheckpointError
+
+    if args.resume is not None:
+        from repro.checkpoint import resume_engine_run
+
+        try:
+            result = resume_engine_run(args.resume)
+        except CheckpointError as exc:
+            print(f"tecfan run: cannot resume {args.resume}: {exc}",
+                  file=sys.stderr)
+            return 2
+        _print_run_result(result)
+        return 0
+
+    from repro.core.engine import EngineConfig, SimulationEngine
+    from repro.core.problem import EnergyProblem
+    from repro.core.system import build_system
+    from repro.perf import splash2_workload
+    from repro.perf.workload import WorkloadRun
+
+    if args.max_time_s <= 0:
+        print("tecfan run: --max-time-s must be > 0", file=sys.stderr)
+        return 2
+    engine_kwargs = {}
+    if args.interval_kernel:
+        engine_kwargs["interval_kernel"] = True
+    if args.exact_kernel:
+        engine_kwargs["interval_kernel"] = True
+        engine_kwargs["exact_kernel"] = True
+    if args.faults is not None:
+        from repro.faults import HealthConfig, WatchdogConfig
+
+        scheduler, rc = _load_fault_scheduler(args.faults, "tecfan run")
+        if scheduler is None:
+            return rc
+        engine_kwargs = dict(
+            faults=scheduler,
+            watchdog=WatchdogConfig(),
+            health=HealthConfig(),
+            estimator_fallback=True,
+        )
+    if args.checkpoint is not None:
+        engine_kwargs["checkpoint_path"] = args.checkpoint
+        engine_kwargs["checkpoint_every_s"] = args.checkpoint_every_s
+
+    try:
+        controller = _make_controller(args.policy)
+    except ValueError as exc:
+        print(f"tecfan run: {exc}", file=sys.stderr)
+        return 2
+    system = build_system()
+    workload = splash2_workload(args.workload, args.threads, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=args.threshold),
+        EngineConfig(max_time_s=args.max_time_s, **engine_kwargs),
+    )
+    run = WorkloadRun(workload, system.chip, ref_freq_ghz=2.0)
+    result = engine.run(run, controller)
+    _print_run_result(result)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Fan sweep of one policy with an optional crash-recovery journal."""
+    from repro.checkpoint import result_digest
+    from repro.core.engine import EngineConfig, SimulationEngine, run_fan_sweep
+    from repro.core.problem import EnergyProblem
+    from repro.core.system import build_system
+    from repro.exceptions import CheckpointError
+    from repro.perf import splash2_workload
+    from repro.perf.workload import WorkloadRun
+
+    if args.max_time_s <= 0:
+        print("tecfan sweep: --max-time-s must be > 0", file=sys.stderr)
+        return 2
+    try:
+        controller = _make_controller(args.policy)
+    except ValueError as exc:
+        print(f"tecfan sweep: {exc}", file=sys.stderr)
+        return 2
+    system = build_system()
+    workload = splash2_workload(args.workload, args.threads, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=args.threshold),
+        EngineConfig(max_time_s=args.max_time_s),
+    )
+
+    def make_run():
+        return WorkloadRun(workload, system.chip, ref_freq_ghz=2.0)
+
+    try:
+        chosen, all_metrics = run_fan_sweep(
+            engine,
+            make_run,
+            controller,
+            jobs=args.jobs,
+            journal_path=args.journal,
+        )
+    except CheckpointError as exc:
+        print(f"tecfan sweep: journal mismatch: {exc}", file=sys.stderr)
+        return 2
+    for m in all_metrics:
+        print(
+            f"fan={m.fan_level} time={m.execution_time_s!r} "
+            f"energy={m.energy_j!r} peak={m.peak_temp_c!r} "
+            f"violations={m.violation_rate!r}"
+        )
+    print(f"chosen: fan={chosen.metrics.fan_level}")
+    print(f"digest: {result_digest(chosen)}")
     return 0
 
 
@@ -314,6 +474,95 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "quick", parents=[common, jobs_parent], help="fast end-to-end demo"
     )
+    runp = sub.add_parser(
+        "run",
+        parents=[common],
+        help="one simulation with optional periodic checkpoints / resume",
+    )
+    runp.add_argument("--workload", default="lu", help="SPLASH-2 benchmark name")
+    runp.add_argument("--threads", type=int, default=16)
+    runp.add_argument(
+        "--policy",
+        default="TECfan",
+        help="controller name (case-insensitive): FanOnly, Fan+TEC, "
+        "Fan+DVFS, DVFS+TEC or TECfan",
+    )
+    runp.add_argument(
+        "--threshold", type=float, default=85.0, help="T_th [degC]"
+    )
+    runp.add_argument(
+        "--max-time-s",
+        type=float,
+        default=2.0,
+        help="simulated-time cap for the run [s]",
+    )
+    runp.add_argument(
+        "--interval-kernel",
+        action="store_true",
+        help="arm the interval-kernel fast path (see docs/PERFORMANCE.md)",
+    )
+    runp.add_argument(
+        "--exact-kernel",
+        action="store_true",
+        help="force the classic exact loop even with --interval-kernel",
+    )
+    runp.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="JSON fault script; enables watchdog, health monitor and "
+        "estimator fallback (the hardened engine configuration)",
+    )
+    runp.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write periodic engine checkpoints here (atomic replace; "
+        "resume later with --resume PATH)",
+    )
+    runp.add_argument(
+        "--checkpoint-every-s",
+        type=float,
+        metavar="S",
+        default=0.05,
+        help="simulated-time cadence between checkpoints [s]",
+    )
+    runp.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a checkpoint instead of starting fresh; the "
+        "completed result is bit-identical to the uninterrupted run",
+    )
+    sweepp = sub.add_parser(
+        "sweep",
+        parents=[common, jobs_parent],
+        help="fan-level sweep of one policy (crash-recoverable "
+        "with --journal)",
+    )
+    sweepp.add_argument(
+        "--workload", default="lu", help="SPLASH-2 benchmark name"
+    )
+    sweepp.add_argument("--threads", type=int, default=16)
+    sweepp.add_argument(
+        "--policy", default="TECfan", help="controller name (case-insensitive)"
+    )
+    sweepp.add_argument(
+        "--threshold", type=float, default=85.0, help="T_th [degC]"
+    )
+    sweepp.add_argument(
+        "--max-time-s",
+        type=float,
+        default=2.0,
+        help="simulated-time cap per level [s]",
+    )
+    sweepp.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append completed levels to this crash-recovery journal; "
+        "re-running with the same path redoes only missing levels",
+    )
     prof = sub.add_parser(
         "profile",
         parents=[common],
@@ -440,6 +689,8 @@ def main(argv: list[str] | None = None) -> int:
         "fig7": _cmd_fig7,
         "hwcost": _cmd_hwcost,
         "quick": _cmd_quick,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
     }

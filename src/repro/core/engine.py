@@ -109,6 +109,13 @@ class EngineConfig:
     #: fixed point must have settled this tightly before its value is
     #: frozen across a fast-forwarded chunk.
     fast_forward_steady_tol_k: float = 1e-6
+    #: Periodic checkpointing (repro.checkpoint): snapshot the recorded
+    #: run to ``checkpoint_path`` every ``checkpoint_every_s`` simulated
+    #: seconds. Snapshots are side-effect-free, so any cadence leaves
+    #: the run bit-identical to an uncheckpointed one. Both fields must
+    #: be set together; None disables checkpointing entirely.
+    checkpoint_every_s: float | None = None
+    checkpoint_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.dt_lower_s <= 0 or self.fan_period_s <= 0:
@@ -129,6 +136,12 @@ class EngineConfig:
             raise ConfigurationError(
                 "fast_forward_steady_tol_k must be non-negative"
             )
+        if (self.checkpoint_every_s is None) != (self.checkpoint_path is None):
+            raise ConfigurationError(
+                "checkpoint_every_s and checkpoint_path must be set together"
+            )
+        if self.checkpoint_every_s is not None and self.checkpoint_every_s <= 0:
+            raise ConfigurationError("checkpoint_every_s must be positive")
 
     @property
     def hardened(self) -> bool:
@@ -182,6 +195,32 @@ class _RunGuards:
     sensor_validator: SensorValidator | None = None
     fallback: bool = False
     refuge: ActuatorState | None = None
+
+
+@dataclass
+class _Checkpointer:
+    """Cadence bookkeeping for periodic run snapshots.
+
+    Checkpoints fire at the loop top once simulated time crosses each
+    multiple of ``every_s``. ``start_s`` anchors a resumed run on the
+    same schedule the uninterrupted run would have followed (the
+    cadence cannot affect results either way — snapshots are pure
+    reads — but a stable schedule keeps checkpoint files comparable).
+    """
+
+    path: str
+    every_s: float
+    start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.next_due = (
+            np.floor(self.start_s / self.every_s + 1e-9) + 1.0
+        ) * self.every_s
+
+    def advance(self, time_s: float) -> None:
+        """Move the due point past ``time_s`` (fast-forward aware)."""
+        while self.next_due <= time_s:
+            self.next_due += self.every_s
 
 
 @dataclass
@@ -316,6 +355,11 @@ class SimulationEngine:
                     )
 
             trace = TraceRecorder()
+            ckpt = None
+            if cfg.checkpoint_every_s is not None:
+                ckpt = _Checkpointer(
+                    cfg.checkpoint_path, cfg.checkpoint_every_s
+                )
             with obs.span("engine.run"):
                 (
                     state,
@@ -335,6 +379,7 @@ class SimulationEngine:
                     trace=trace,
                     max_intervals=None,
                     guards=self._build_guards(),
+                    checkpoint=ckpt,
                 )
         finally:
             if restore_woodbury is not None:
@@ -357,6 +402,171 @@ class SimulationEngine:
             avg_tec=avg_tec,
         )
 
+    # ------------------------------------------------------------------
+    def resume(self, ck: dict) -> SimulationResult:
+        """Finish an interrupted run from a loaded checkpoint payload.
+
+        ``ck`` comes from :func:`repro.checkpoint.load_checkpoint`
+        (kind ``"engine-run"``); the engine must have been built from
+        the payload's own system/problem/config (see
+        :func:`repro.checkpoint.resume_engine_run`). No priming pass
+        and no fresh guard construction happen here — the checkpoint
+        carries the mid-run controller, estimator, fault scheduler and
+        guard state machines, and the loop re-enters exactly where the
+        snapshot was taken. The completed result is bit-identical,
+        field by field, to the uninterrupted run.
+        """
+        cfg = self.config
+        run = ck["run"]
+        controller = ck["controller"]
+        estimator = ck["estimator"]
+        guards = ck["guards"]
+        trace = ck["trace"]
+
+        obs.annotate("engine_config", cfg)
+        obs.annotate("workload", run.workload.name)
+        obs.annotate("policy", controller.name)
+        obs.annotate("t_threshold_c", self.problem.t_threshold_c)
+        for counter in (
+            "engine.intervals",
+            "engine.fast_forwarded_intervals",
+            "temp.violations",
+            "tec.switch_events",
+            "fan.level_changes",
+            "controller.hot_iterations",
+            "controller.cool_iterations",
+            "thermal.propagator_hits",
+            "thermal.propagator_misses",
+            "thermal.woodbury_solves",
+            "thermal.woodbury_fallbacks",
+        ):
+            obs.incr(counter, 0)
+        # Carry the interrupted run's counters forward so post-resume
+        # telemetry sums over the whole logical run. Cache-rebuild
+        # counters (thermal.factorizations, lu_evictions) can exceed an
+        # uninterrupted run's by the restore cost — documented in
+        # docs/ROBUSTNESS.md; results are unaffected.
+        counters = ck.get("counters")
+        if counters and obs.get_telemetry() is not None:
+            for name in sorted(counters):
+                if counters[name]:
+                    obs.incr(name, counters[name])
+
+        solver = self.system.solver
+        restore_woodbury = None
+        if cfg.interval_kernel or cfg.exact_kernel:
+            restore_woodbury = solver.use_woodbury
+            solver.use_woodbury = cfg.kernel_active
+        try:
+            if ck.get("solver_cache") is not None:
+                # Replay the warm LU/Woodbury cache in its snapshotted
+                # LRU order: Woodbury corrections are history-dependent
+                # (nearest cached base), so the resumed solver must see
+                # the same cache the live one held.
+                solver.restore_cache(ck["solver_cache"])
+            ckpt = None
+            if cfg.checkpoint_every_s is not None:
+                ckpt = _Checkpointer(
+                    cfg.checkpoint_path,
+                    cfg.checkpoint_every_s,
+                    start_s=ck["loop"]["time_s"],
+                )
+            with obs.span("engine.run"):
+                (
+                    state,
+                    t_nodes,
+                    prev_tec,
+                    time_s,
+                    total_instructions,
+                    avg_p,
+                    avg_tec,
+                ) = self._simulate(
+                    run,
+                    controller,
+                    ck["state"],
+                    ck["t_nodes"],
+                    ck["prev_tec"],
+                    estimator,
+                    trace=trace,
+                    max_intervals=None,
+                    guards=guards,
+                    checkpoint=ckpt,
+                    resume=dict(ck["loop"]),
+                )
+        finally:
+            if restore_woodbury is not None:
+                solver.use_woodbury = restore_woodbury
+
+        metrics = summarize(
+            trace,
+            self.problem,
+            policy=controller.name,
+            workload=run.workload.name,
+            fan_level=int(state.fan_level),
+            instructions=total_instructions,
+        )
+        return SimulationResult(
+            metrics=metrics,
+            trace=trace,
+            final_state=state,
+            estimator=estimator,
+            avg_p_components_w=avg_p,
+            avg_tec=avg_tec,
+        )
+
+    def _write_checkpoint(
+        self,
+        ckpt: _Checkpointer,
+        run: WorkloadRun,
+        controller: Controller,
+        estimator,
+        guards: _RunGuards | None,
+        trace: TraceRecorder,
+        state: ActuatorState,
+        t_nodes: np.ndarray,
+        prev_tec: np.ndarray,
+        loop: dict,
+    ) -> None:
+        """Snapshot the entire loop as one pickled payload.
+
+        Everything goes through a single ``pickle.dumps`` so object
+        identity survives: ``config.faults`` and ``guards.faults`` stay
+        one scheduler, the estimator keeps referencing the payload's
+        own system. Taking a snapshot reads state without advancing
+        anything (RNG states are copied), so checkpoint cadence cannot
+        perturb the run.
+        """
+        from repro.checkpoint import write_checkpoint
+
+        solver = self.system.solver
+        tel = obs.get_telemetry()
+        write_checkpoint(
+            ckpt.path,
+            {
+                "kind": "engine-run",
+                "system": self.system,
+                "problem": self.problem,
+                "config": self.config,
+                "run": run,
+                "controller": controller,
+                "estimator": estimator,
+                "guards": guards,
+                "trace": trace,
+                "state": state,
+                "t_nodes": t_nodes,
+                "prev_tec": prev_tec,
+                "loop": loop,
+                "solver_cache": (
+                    solver.snapshot_cache() if solver.use_woodbury else None
+                ),
+                "counters": (
+                    dict(tel.metrics.snapshot()["counters"])
+                    if tel is not None
+                    else None
+                ),
+            },
+        )
+
     def _simulate(
         self,
         run: WorkloadRun,
@@ -368,6 +578,8 @@ class SimulationEngine:
         trace: TraceRecorder | None,
         max_intervals: int | None,
         guards: _RunGuards | None = None,
+        checkpoint: _Checkpointer | None = None,
+        resume: dict | None = None,
     ):
         """Advance the plant + controller loop; optionally record.
 
@@ -377,6 +589,11 @@ class SimulationEngine:
         every priming pass — the loop takes exactly the classic code
         path, so fault-capable engines remain bit-identical to the
         original on healthy runs.
+
+        ``checkpoint`` snapshots the whole loop to disk each time
+        simulated time crosses its cadence; ``resume`` restores the
+        loop-local variables a snapshot captured, so a resumed run
+        re-enters the loop exactly where the checkpoint left it.
         """
         system = self.system
         cfg = self.config
@@ -410,9 +627,48 @@ class SimulationEngine:
         prev_activity = None
         prev_steady = None
 
+        if resume is not None:
+            fan_accum_p = resume["fan_accum_p"]
+            fan_accum_tec = resume["fan_accum_tec"]
+            fan_accum_n = resume["fan_accum_n"]
+            run_avg_p = resume["run_avg_p"]
+            run_avg_tec = resume["run_avg_tec"]
+            time_s = resume["time_s"]
+            total_instructions = resume["total_instructions"]
+            intervals = resume["intervals"]
+            quiet = resume["quiet"]
+            prev_activity = resume["prev_activity"]
+            prev_steady = resume["prev_steady"]
+
         while not run.finished and time_s < cfg.max_time_s:
             if max_intervals is not None and intervals >= max_intervals:
                 break
+            if checkpoint is not None and time_s >= checkpoint.next_due:
+                self._write_checkpoint(
+                    checkpoint,
+                    run,
+                    controller,
+                    estimator,
+                    guards,
+                    trace,
+                    state,
+                    t_nodes,
+                    prev_tec,
+                    {
+                        "fan_accum_p": fan_accum_p,
+                        "fan_accum_tec": fan_accum_tec,
+                        "fan_accum_n": fan_accum_n,
+                        "run_avg_p": run_avg_p,
+                        "run_avg_tec": run_avg_tec,
+                        "time_s": time_s,
+                        "total_instructions": total_instructions,
+                        "intervals": intervals,
+                        "quiet": quiet,
+                        "prev_activity": prev_activity,
+                        "prev_steady": prev_steady,
+                    },
+                )
+                checkpoint.advance(time_s)
             if kernel and quiet >= cfg.fast_forward_quiet:
                 k_cap = min(
                     cfg.fast_forward_max,
@@ -868,6 +1124,7 @@ def run_fan_sweep(
     controller: Controller,
     violation_tolerance: float = 0.05,
     jobs: int | None = None,
+    journal_path=None,
 ) -> tuple[SimulationResult, list[RunMetrics]]:
     """Run a policy at every fan level; keep the paper's selection.
 
@@ -891,15 +1148,42 @@ def run_fan_sweep(
         travel once per worker as shared pool context, so the per-level
         runs — independent and deterministic — produce the results of
         the serial loop with warm thermal caches.
+    journal_path:
+        Crash-recovery journal (:mod:`repro.journal`): completed levels
+        are appended as they land, and re-running with the same path
+        re-executes only the missing ones. The payloads are recreated
+        deterministically from the workload definition, so journaled
+        indices stay valid across driver restarts.
     """
     from repro.parallel import parallel_map
 
     fan = engine.system.fan
     levels = range(1, fan.n_levels + 1)
     payloads = [(make_run(), lv) for lv in levels]
-    results = parallel_map(
-        _fan_sweep_task, payloads, jobs, context=(engine, controller)
-    )
+    journal = None
+    if journal_path is not None:
+        from repro.journal import TaskJournal
+
+        journal = TaskJournal(
+            journal_path,
+            header={
+                "kind": "fan-sweep",
+                "workload": payloads[0][0].workload.name,
+                "policy": controller.name,
+                "n_tasks": len(payloads),
+            },
+        )
+    try:
+        results = parallel_map(
+            _fan_sweep_task,
+            payloads,
+            jobs,
+            context=(engine, controller),
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     all_metrics = [res.metrics for res in results]
     qualifying = [
         res

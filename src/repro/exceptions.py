@@ -52,6 +52,12 @@ class ObservabilityError(ReproError):
     unreadable telemetry stream)."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint or run journal cannot be used: unreadable payload,
+    unsupported schema version, wrong snapshot kind, or a journal whose
+    header does not match the run being resumed."""
+
+
 class ParallelExecutionError(ReproError):
     """One or more tasks of a parallel fan-out failed in a worker.
 

@@ -119,6 +119,21 @@ class FaultScheduler:
         self._announced: set = set()
 
     # ------------------------------------------------------------------
+    # Pickling: Generator objects don't pickle portably, so ship the
+    # bit-generator state and rebuild. A checkpointed scheduler resumes
+    # its dropout stream (and latched values) exactly where it left off.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_rng"] = self._rng.bit_generator.state
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        rng_state = state.pop("_rng")
+        self.__dict__.update(state)
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = rng_state
+
+    # ------------------------------------------------------------------
     def validate(self, system) -> None:
         """Check every fault's indices against a concrete system."""
         n_dev = system.n_tec_devices

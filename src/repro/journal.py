@@ -1,0 +1,225 @@
+"""Append-only completed-task journal for crash-recoverable fan-outs.
+
+A journal file is a sequence of self-delimiting frames::
+
+    MAGIC(4)  length(u32 LE)  crc32(u32 LE)  payload(length bytes)
+
+where the payload pickles one ``(kind, key, value)`` record. Three
+kinds exist: one ``"header"`` record (first frame, identifies the run
+so a resumed driver can't replay the wrong journal), ``"meta"``
+records (e.g. a fault matrix's serialized plan), and ``"task"``
+records mapping a task index to its completed result.
+
+Crash model: the driver may be SIGKILLed mid-append. A torn tail frame
+is detected by the magic/length/CRC envelope on the next open, reported
+(``truncated``), counted (``journal.truncated_tails``), and truncated
+away — every frame before it is intact because frames are appended with
+a single buffered write + flush. Only *successful* results are ever
+journaled, so replaying a journal can only skip work, never wrong
+results.
+
+:class:`TaskJournal` opens the file read-write (repairing torn tails);
+:func:`scan_journal` is the read-only counterpart, safe to poll while a
+live driver is still appending.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+
+from repro.exceptions import CheckpointError
+from repro.obs import telemetry as obs
+
+JOURNAL_MAGIC = b"TFJ1"
+_FRAME = struct.Struct("<II")
+#: Version of the frame payload layout, stamped into the header record.
+JOURNAL_SCHEMA = 1
+
+
+def _encode_frame(record) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        JOURNAL_MAGIC
+        + _FRAME.pack(len(payload), zlib.crc32(payload))
+        + payload
+    )
+
+
+def _scan_blob(blob: bytes, path: str):
+    """Parse frames out of raw journal bytes.
+
+    Returns ``(records, good_end, truncated)`` where ``records`` is the
+    list of decoded ``(kind, key, value)`` tuples, ``good_end`` the
+    offset just past the last intact frame, and ``truncated`` a report
+    dict (or None) describing a torn/corrupt tail.
+    """
+    records = []
+    offset = 0
+    truncated = None
+    head_len = len(JOURNAL_MAGIC) + _FRAME.size
+    while offset < len(blob):
+        head = blob[offset : offset + head_len]
+        if len(head) < head_len or head[:4] != JOURNAL_MAGIC:
+            truncated = {
+                "path": path,
+                "offset": offset,
+                "bytes_dropped": len(blob) - offset,
+                "reason": "torn frame header",
+            }
+            break
+        length, crc = _FRAME.unpack(head[4:])
+        payload = blob[offset + head_len : offset + head_len + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            truncated = {
+                "path": path,
+                "offset": offset,
+                "bytes_dropped": len(blob) - offset,
+                "reason": (
+                    "torn payload"
+                    if len(payload) < length
+                    else "CRC mismatch"
+                ),
+            }
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            truncated = {
+                "path": path,
+                "offset": offset,
+                "bytes_dropped": len(blob) - offset,
+                "reason": "unpicklable payload",
+            }
+            break
+        records.append(record)
+        offset += head_len + length
+    return records, offset, truncated
+
+
+def scan_journal(path):
+    """Read-only journal scan: ``(header, metas, tasks, truncated)``.
+
+    Never modifies the file, so it is safe to poll a journal that a
+    live driver is still appending to (a mid-append tail just shows up
+    as ``truncated`` until the write completes).
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    records, _, truncated = _scan_blob(blob, os.fspath(path))
+    header = None
+    metas = {}
+    tasks = {}
+    for kind, key, value in records:
+        if kind == "header":
+            header = value
+        elif kind == "meta":
+            metas[key] = value
+        elif kind == "task":
+            tasks[key] = value
+    return header, metas, tasks, truncated
+
+
+class TaskJournal:
+    """Append-only record of a fan-out's completed tasks.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created if missing, resumed (and tail-repaired)
+        if present.
+    header:
+        Identity of the run (workload, policy, task count, ...). On a
+        fresh file it is written as the header record; on an existing
+        file every key it carries must match the recorded header —
+        a mismatch raises :class:`~repro.exceptions.CheckpointError`
+        rather than silently replaying the wrong run's journal.
+    fsync:
+        Fsync after every appended record. Off by default: a lost
+        *intact* tail record only costs re-running that task.
+    """
+
+    def __init__(self, path, header: dict | None = None, *, fsync: bool = False):
+        self.path = os.fspath(path)
+        self.fsync = bool(fsync)
+        self.tasks: dict = {}
+        self.metas: dict = {}
+        self.truncated: dict | None = None
+        self.header: dict | None = None
+
+        exists = os.path.exists(self.path)
+        if exists:
+            with open(self.path, "rb") as fh:
+                blob = fh.read()
+            records, good_end, self.truncated = _scan_blob(blob, self.path)
+            if self.truncated is not None:
+                obs.incr("journal.truncated_tails")
+            for kind, key, value in records:
+                if kind == "header":
+                    self.header = value
+                elif kind == "meta":
+                    self.metas[key] = value
+                elif kind == "task":
+                    self.tasks[key] = value
+            if records and self.header is None:
+                raise CheckpointError(
+                    f"journal {self.path} has no header record"
+                )
+            if header is not None and self.header is not None:
+                for key, want in header.items():
+                    got = self.header.get(key)
+                    if got != want:
+                        raise CheckpointError(
+                            f"journal {self.path} was written by a "
+                            f"different run: {key}={got!r}, this run "
+                            f"has {key}={want!r}"
+                        )
+            self._fh = open(self.path, "r+b")
+            self._fh.seek(good_end)
+            self._fh.truncate(good_end)
+            if self.header is None:
+                self._write_header(header)
+        else:
+            self._fh = open(self.path, "wb")
+            self._write_header(header)
+
+    def _write_header(self, header: dict | None) -> None:
+        self.header = dict(header or {})
+        self.header.setdefault("journal_schema", JOURNAL_SCHEMA)
+        self._append(("header", None, self.header))
+
+    def _append(self, record) -> None:
+        self._fh.write(_encode_frame(record))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    def put_meta(self, name: str, value) -> None:
+        """Record a named side value (idempotent on resume: last wins)."""
+        self._append(("meta", name, value))
+        self.metas[name] = value
+
+    def get_meta(self, name: str, default=None):
+        return self.metas.get(name, default)
+
+    def record_task(self, key, value) -> None:
+        """Journal one completed task's result."""
+        self._append(("task", key, value))
+        self.tasks[key] = value
+        obs.incr("journal.tasks_recorded")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "TaskJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

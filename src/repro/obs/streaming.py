@@ -33,6 +33,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -57,6 +58,20 @@ class StreamingExporter:
         Rotate to a new part once the current file passes this size
         (``None`` disables rotation). Checked at flush granularity, so
         parts overshoot by at most one batch.
+    atomic_parts:
+        Write each part at ``<name>.tmp`` and rename it into place only
+        when it is *complete* (rotation or close) — so readers polling
+        the directory never observe a half-written part, and a crash
+        leaves the in-progress part clearly marked as ``.tmp``.
+        :func:`read_stream_parts` falls back to the ``.tmp`` sibling
+        when the final name is missing, so crashed streams stay
+        readable. Off by default: the plain mode lets a live part be
+        tailed at its final path.
+    fsync:
+        Durability policy: ``"never"`` (default — the OS flushes),
+        ``"rotate"`` (fsync each part as it completes) or ``"always"``
+        (fsync after every batch write; the crash-durable but slowest
+        option).
     """
 
     def __init__(
@@ -65,14 +80,24 @@ class StreamingExporter:
         *,
         flush_every: int = 256,
         rotate_bytes: int | None = None,
+        atomic_parts: bool = False,
+        fsync: str = "never",
     ):
         if flush_every < 1:
             raise ObservabilityError("flush_every must be >= 1")
         if rotate_bytes is not None and rotate_bytes < 1:
             raise ObservabilityError("rotate_bytes must be >= 1 (or None)")
+        if fsync not in ("never", "rotate", "always"):
+            raise ObservabilityError(
+                f"fsync policy must be 'never', 'rotate' or 'always', "
+                f"got {fsync!r}"
+            )
         self.path = Path(path)
         self.flush_every = int(flush_every)
         self.rotate_bytes = rotate_bytes
+        self.atomic_parts = bool(atomic_parts)
+        self.fsync = fsync
+        self._active_tmp: Path | None = None
         #: Every part written, in order (``paths[0]`` is ``path``).
         self.paths: list[Path] = []
         self.events_written = 0
@@ -149,7 +174,7 @@ class StreamingExporter:
             )
             if getattr(tel.event_sink, "__self__", None) is self:
                 tel.event_sink = None
-        self._fh.close()
+        self._finalize_part()
         self._fh = None
         self._closed = True
         return self.paths
@@ -172,7 +197,11 @@ class StreamingExporter:
         else:
             part = self.path
         self.paths.append(part)
-        self._fh = open(part, "w")
+        if self.atomic_parts:
+            self._active_tmp = part.with_name(part.name + ".tmp")
+            self._fh = open(self._active_tmp, "w")
+        else:
+            self._fh = open(part, "w")
         self._part_bytes = 0
         header = json.dumps(
             {
@@ -186,32 +215,33 @@ class StreamingExporter:
         self._write_lines([header])
 
     def _next_part(self) -> None:
-        self._fh.close()
+        self._finalize_part()
         self._open_part()
+
+    def _finalize_part(self) -> None:
+        """Complete the active part: flush, fsync per policy, close —
+        and, under ``atomic_parts``, rename the ``.tmp`` into place so
+        the final name only ever holds a complete part."""
+        self._fh.flush()
+        if self.fsync in ("rotate", "always"):
+            os.fsync(self._fh.fileno())
+        self._fh.close()
+        if self._active_tmp is not None:
+            os.replace(self._active_tmp, self.paths[-1])
+            self._active_tmp = None
 
     def _write_lines(self, lines) -> None:
         text = "\n".join(lines) + "\n"
         self._fh.write(text)
         self._fh.flush()
+        if self.fsync == "always":
+            os.fsync(self._fh.fileno())
         self._part_bytes += len(text)
         self.bytes_written += len(text)
 
 
-def read_stream_parts(paths) -> dict:
-    """Group a rotated part set back into one aggregate view.
-
-    ``paths`` is an iterable of part paths (any order; sorted by the
-    header's part index). Events concatenate in stream order; the
-    manifest and aggregates come from whichever part carries them (the
-    final one, for a cleanly closed stream).
-    """
-    from repro.obs.exporters import read_jsonl
-
-    parsed = [read_jsonl(Path(p)) for p in paths]
-    parsed.sort(
-        key=lambda g: (g.get("stream_header") or {}).get("part", 0)
-    )
-    out: dict = {
+def _empty_group() -> dict:
+    return {
         "manifest": None,
         "stream_header": None,
         "spans": {},
@@ -221,7 +251,67 @@ def read_stream_parts(paths) -> dict:
         "histograms": {},
         "events": [],
     }
-    for group in parsed:
+
+
+def _read_part(path) -> tuple[dict, dict | None]:
+    """Parse one part tolerantly: ``(group, truncation_report | None)``.
+
+    Crash model: a SIGKILL mid-write can leave (a) an ``atomic_parts``
+    stream's in-progress part only at its ``.tmp`` name — resolved by
+    falling back to the sibling — and (b) a torn *final* line. The torn
+    tail is dropped and reported rather than raised; corruption
+    anywhere but the tail is outside the crash model and still raises
+    ``ObservabilityError`` via :func:`repro.obs.read_jsonl`.
+    """
+    from repro.obs.exporters import read_jsonl
+
+    path = Path(path)
+    actual = path
+    if not path.exists():
+        tmp = path.with_name(path.name + ".tmp")
+        if tmp.exists():
+            actual = tmp
+    text = actual.read_text()
+    lines = text.splitlines()
+    truncation = None
+    if lines:
+        try:
+            json.loads(lines[-1])
+        except json.JSONDecodeError:
+            torn = lines.pop()
+            truncation = {
+                "path": str(actual),
+                "line": len(lines) + 1,
+                "bytes_dropped": len(torn),
+                "snippet": torn[:120],
+            }
+    if not lines:
+        return _empty_group(), truncation
+    return read_jsonl("\n".join(lines) + "\n"), truncation
+
+
+def read_stream_parts(paths) -> dict:
+    """Group a rotated part set back into one aggregate view.
+
+    ``paths`` is an iterable of part paths (any order; sorted by the
+    header's part index). Events concatenate in stream order; the
+    manifest and aggregates come from whichever part carries them (the
+    final one, for a cleanly closed stream).
+
+    Tolerates a crashed stream: a part whose final record was torn
+    mid-write is read up to the tear, and the tear is *reported* in the
+    returned ``"truncations"`` list (path, line, bytes dropped) instead
+    of raising; a missing part with a ``.tmp`` sibling (an
+    ``atomic_parts`` stream killed before rename) is read from the
+    sibling. ``"truncations"`` is empty for a cleanly closed stream.
+    """
+    reads = [_read_part(p) for p in paths]
+    reads.sort(
+        key=lambda r: (r[0].get("stream_header") or {}).get("part", 0)
+    )
+    out: dict = _empty_group()
+    out["truncations"] = [t for _, t in reads if t is not None]
+    for group, _ in reads:
         out["events"].extend(group["events"])
         if out["stream_header"] is None:
             out["stream_header"] = group.get("stream_header")

@@ -235,6 +235,58 @@ def _create_shm(size: int):
     return shm
 
 
+def _unlink_shm(name: str) -> bool:
+    """Best-effort unlink of a shared-memory block by name.
+
+    Used on the leak-window paths: a worker whose reply could not be
+    sent, or a parent retiring a worker whose reply (with its shm
+    descriptor) was never read. Returns True when a block was actually
+    reclaimed.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+    except Exception:
+        return False
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another unlink
+        return False
+    return True
+
+
+def _drain_and_reclaim(conn) -> int:
+    """Read unconsumed replies off a worker pipe; unlink their blocks.
+
+    A worker that finished a task the parent never collected (retired
+    on timeout-kill of a *different* in-flight attempt, pool shutdown,
+    KeyboardInterrupt mid-``map``) leaves its reply — possibly carrying
+    a shared-memory descriptor the parent was supposed to own — sitting
+    in the pipe. Draining before close turns that orphaned segment back
+    into accounted cleanup (``parallel.shm_leaks_reclaimed``).
+    """
+    reclaimed = 0
+    try:
+        while conn.poll(0):
+            msg = conn.recv()
+            if (
+                isinstance(msg, tuple)
+                and msg
+                and msg[0] == "ok"
+                and isinstance(msg[2], tuple)
+                and msg[2][0] == "shm"
+                and _unlink_shm(msg[2][1])
+            ):
+                reclaimed += 1
+    except (EOFError, OSError):
+        pass
+    if reclaimed:
+        obs.incr("parallel.shm_leaks_reclaimed", reclaimed)
+    return reclaimed
+
+
 def _decode_result(desc: tuple):
     """Parent-side inverse of :func:`_encode_result`.
 
@@ -331,7 +383,12 @@ def _worker_main(conn) -> None:
         try:
             conn.send(reply)
         except BaseException:
-            break  # parent went away or reply unpicklable: exit code tells
+            # Parent went away (or the reply is unsendable): the shm
+            # block whose ownership was about to transfer would be
+            # orphaned — reclaim it here, where its name is still known.
+            if reply[0] == "ok" and reply[2][0] == "shm":
+                _unlink_shm(reply[2][1])
+            break
     conn.close()
 
 
@@ -418,7 +475,13 @@ class WorkerPool:
             self._idle.append(self._spawn())
 
     def _retire(self, worker: _PoolWorker, kill: bool = False) -> None:
-        """Remove a worker from the pool (killing it if asked)."""
+        """Remove a worker from the pool (killing it if asked).
+
+        A reply sitting unread in the pipe may carry a shared-memory
+        descriptor whose block the parent now owns; it is drained and
+        unlinked before the pipe closes, so retiring a worker never
+        strands a segment.
+        """
         if worker in self._busy:
             self._busy.remove(worker)
         if worker in self._idle:
@@ -426,7 +489,9 @@ class WorkerPool:
         if kill:
             worker.proc.kill()
         worker.proc.join()
-        worker.conn.close()
+        if not worker.conn.closed:
+            _drain_and_reclaim(worker.conn)
+            worker.conn.close()
 
     def prime(self) -> int:
         """Spawn every worker now and round-trip a no-op task through
@@ -437,25 +502,36 @@ class WorkerPool:
         return self.n_workers
 
     def close(self) -> None:
-        """Stop every worker. Idle workers exit cleanly; stragglers
-        (and any still-busy worker) are killed."""
+        """Stop every worker. Idle workers get a polite stop and a
+        join-with-timeout; stragglers (and any still-busy worker) are
+        killed. Pending replies are drained and their shared-memory
+        blocks unlinked, and each pipe closes exactly once — so a
+        mid-sweep ``KeyboardInterrupt`` arriving through ``__exit__``
+        leaves no orphaned segments and no ``resource_tracker``
+        warnings. Idempotent.
+        """
         if self._closed:
             return
         self._closed = True
-        for worker in list(self._busy):
-            self._retire(worker, kill=True)
-        for worker in self._idle:
+        busy = list(self._busy)
+        idle = list(self._idle)
+        self._busy.clear()
+        self._idle.clear()
+        for worker in busy:
+            worker.proc.kill()
+        for worker in idle:
             try:
                 worker.conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        for worker in self._idle:
+        for worker in busy + idle:
             worker.proc.join(timeout=5.0)
             if worker.proc.is_alive():  # pragma: no cover - defensive
                 worker.proc.kill()
                 worker.proc.join()
-            worker.conn.close()
-        self._idle.clear()
+            if not worker.conn.closed:
+                _drain_and_reclaim(worker.conn)
+                worker.conn.close()
 
     # -- scheduling ----------------------------------------------------
     def map(
@@ -469,6 +545,7 @@ class WorkerPool:
         backoff_s: float = 0.1,
         on_error: str = "raise",
         capture: bool | None = None,
+        on_result: Callable | None = None,
     ) -> list:
         """``[fn(p) for p in payloads]`` (or ``fn(context, p)``) across
         the pool's workers; results in payload order.
@@ -476,6 +553,9 @@ class WorkerPool:
         See :func:`parallel_map` for parameter semantics — this is its
         pooled engine. ``capture`` overrides the telemetry-capture
         decision (default: capture iff the parent has a session).
+        ``on_result(index, value)`` fires the moment each task's result
+        is decoded — in *completion* order, not payload order — so a
+        journal can persist progress before the batch finishes.
         """
         if self._closed:
             raise ParallelExecutionError([(-1, "pool is closed")])
@@ -611,6 +691,8 @@ class WorkerPool:
                         if msg[0] == "ok":
                             _, _, desc, wtel, warm, shm_bytes = msg
                             results[index] = _decode_result(desc)
+                            if on_result is not None:
+                                on_result(index, results[index])
                             pending -= 1
                             obs.incr("parallel.pool_tasks")
                             if warm:
@@ -659,6 +741,8 @@ def parallel_map(
     backoff_s: float = 0.1,
     on_error: str = "raise",
     pool: WorkerPool | None = None,
+    on_result: Callable | None = None,
+    journal=None,
 ) -> list:
     """``[fn(p) for p in payloads]`` across persistent worker processes.
 
@@ -703,6 +787,18 @@ def parallel_map(
         workers — and their warm contexts — survive for the next call).
         Without one, a private pool is created and closed around this
         call.
+    on_result:
+        ``on_result(index, value)`` callback fired as each task
+        *succeeds* (completion order). Failures never fire it.
+    journal:
+        A :class:`repro.journal.TaskJournal`. Payload indices already
+        present in the journal are skipped (their journaled results are
+        returned directly, ``journal.tasks_skipped`` counts them) and
+        every fresh success is journaled the moment it lands — so a
+        driver killed mid-sweep re-runs only the missing tasks, and a
+        worker that died mid-task simply never journaled it. Only
+        successful results are journaled; :class:`TaskFailure` partials
+        are not, and re-run on resume.
 
     Returns
     -------
@@ -718,18 +814,55 @@ def parallel_map(
             [(-1, f"invalid on_error value {on_error!r}")]
         )
     payloads = list(payloads)
+    if journal is not None:
+        done = {
+            k: v
+            for k, v in journal.tasks.items()
+            if isinstance(k, int) and 0 <= k < len(payloads)
+        }
+        todo = [i for i in range(len(payloads)) if i not in done]
+        obs.incr("journal.tasks_skipped", len(payloads) - len(todo))
+
+        def _record(sub_index: int, value, _todo=todo) -> None:
+            index = _todo[sub_index]
+            journal.record_task(index, value)
+            if on_result is not None:
+                on_result(index, value)
+
+        sub = parallel_map(
+            fn,
+            [payloads[i] for i in todo],
+            jobs,
+            context=context,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            on_error=on_error,
+            pool=pool,
+            on_result=_record,
+        )
+        results = [None] * len(payloads)
+        for index, value in done.items():
+            results[index] = value
+        for j, index in enumerate(todo):
+            results[index] = sub[j]
+        return results
+
     n = pool.jobs if pool is not None else resolve_jobs(jobs)
     timeout_s = _resolve_timeout(timeout_s)
     retries = _resolve_retries(retries)
 
     if n <= 1 or len(payloads) <= 1:
-        return _serial_map(fn, payloads, retries, backoff_s, on_error, context)
+        return _serial_map(
+            fn, payloads, retries, backoff_s, on_error, context, on_result
+        )
     kwargs = dict(
         context=context,
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
         on_error=on_error,
+        on_result=on_result,
     )
     if pool is not None:
         return pool.map(fn, payloads, **kwargs)
@@ -744,6 +877,7 @@ def _serial_map(
     backoff_s: float,
     on_error: str,
     context=None,
+    on_result: Callable | None = None,
 ) -> list:
     """In-process execution: retries apply, deadlines cannot."""
     results: list = []
@@ -754,6 +888,8 @@ def _serial_map(
                 results.append(
                     fn(p) if context is None else fn(context, p)
                 )
+                if on_result is not None:
+                    on_result(i, results[-1])
                 break
             except Exception:
                 if attempt < retries:

@@ -115,6 +115,10 @@ class SteadyStateSolver:
     #: Diagonal deltas of the *exact* cached factorizations, by key —
     #: the search space for the nearest Woodbury base.
     _delta_cache: dict = field(default_factory=dict, repr=False)
+    #: Rebuild recipes by cache key: how each live entry was built, so a
+    #: checkpoint can replay the cache deterministically (SuperLU objects
+    #: cannot pickle). See :meth:`snapshot_cache`.
+    _recipe_cache: dict = field(default_factory=dict, repr=False)
     _keyer: ActuatorKeyer = field(default_factory=ActuatorKeyer, repr=False)
     #: Statistics: factorizations performed / solves served / LRU drops,
     #: plus Woodbury corrections built / solves validated / fallbacks.
@@ -133,6 +137,7 @@ class SteadyStateSolver:
         state = self.__dict__.copy()
         state["_lu_cache"] = OrderedDict()
         state["_delta_cache"] = {}
+        state["_recipe_cache"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -148,6 +153,7 @@ class SteadyStateSolver:
         if len(self._lu_cache) > self.cache_size:
             old, _ = self._lu_cache.popitem(last=False)
             self._delta_cache.pop(old, None)
+            self._recipe_cache.pop(old, None)
             self.n_evictions += 1
             obs.incr("thermal.lu_evictions")
 
@@ -164,6 +170,11 @@ class SteadyStateSolver:
             ) from exc
         self._delta_cache[key] = self.model.diag_delta(
             fan_level, tec_activation
+        )
+        self._recipe_cache[key] = (
+            "exact",
+            int(fan_level),
+            np.asarray(tec_activation, dtype=float).copy(),
         )
         self._store(key, lu)
         self.n_factorizations += 1
@@ -192,22 +203,39 @@ class SteadyStateSolver:
             diff = delta_new - base_delta
             idx = np.flatnonzero(diff)
             if best is None or idx.size < best[0].size:
-                best = (idx, diff, entry)
+                best = (idx, diff, entry, bkey)
         if best is None:
             return None
-        idx, diff, base_lu = best
+        idx, diff, base_lu, bkey = best
         if idx.size == 0:
             # Distinct quantized keys, same exact G (e.g. activations
             # differing below 1/256): the base factorization *is* exact
-            # for this setting too.
+            # for this setting too. Recorded under the alias key's *own*
+            # setting — splu of the identical matrix rebuilds the same
+            # factorization, and the alias key lands in the right LRU slot.
             self._delta_cache[key] = delta_new
+            self._recipe_cache[key] = (
+                "exact",
+                int(fan_level),
+                np.asarray(tec_activation, dtype=float).copy(),
+            )
             return base_lu
         if idx.size > self.woodbury_max_rank:
+            return None
+        base_recipe = self._recipe_cache.get(bkey)
+        if base_recipe is None:
             return None
         try:
             op = _WoodburyOperator(base_lu, idx, diff[idx])
         except np.linalg.LinAlgError:
             return None
+        self._recipe_cache[key] = (
+            "woodbury",
+            int(fan_level),
+            np.asarray(tec_activation, dtype=float).copy(),
+            base_recipe[1],
+            base_recipe[2],
+        )
         self.n_woodbury_builds += 1
         return op
 
@@ -328,3 +356,65 @@ class SteadyStateSolver:
         """Drop all cached factorizations (exact and corrected)."""
         self._lu_cache.clear()
         self._delta_cache.clear()
+        self._recipe_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Deterministic cache snapshot/restore (repro.checkpoint).
+    #
+    # Why this matters: with ``use_woodbury`` on, a cache miss is served
+    # by an SMW correction against the *nearest cached* exact base — the
+    # solver's answers depend on its cache history. A resumed run must
+    # therefore rebuild the same cache contents in the same LRU order,
+    # or it would diverge (within woodbury_rtol) from the uninterrupted
+    # run. SuperLU handles cannot pickle, but ``splu`` of the identical
+    # matrix is deterministic, so we snapshot *recipes* and replay them.
+    def snapshot_cache(self) -> list:
+        """Picklable rebuild recipes for the live cache, oldest→newest.
+
+        Each entry is ``("exact", fan, tec)`` or
+        ``("woodbury", fan, tec, base_fan, base_tec)``. Iterating the
+        LRU dict preserves recency order so a replayed cache evicts (and
+        picks Woodbury bases) exactly like the original.
+        """
+        out = []
+        for key in self._lu_cache:
+            recipe = self._recipe_cache.get(key)
+            if recipe is not None:
+                out.append(recipe)
+        return out
+
+    def restore_cache(self, entries: list) -> None:
+        """Replay :meth:`snapshot_cache` recipes into an empty cache.
+
+        Exact entries refactorize from scratch; Woodbury entries rebuild
+        their correction against the base's *matrix* (the base may have
+        been evicted since — a temporary ``splu`` of the identical
+        matrix yields the same factorization, so corrected solves stay
+        bit-identical).
+        """
+        self.clear_cache()
+        for recipe in entries:
+            if recipe[0] == "exact":
+                _, fan, tec = recipe
+                self._factorize_exact(self._cache_key(fan, tec), fan, tec)
+                continue
+            _, fan, tec, base_fan, base_tec = recipe
+            bkey = self._cache_key(base_fan, base_tec)
+            base = self._lu_cache.get(bkey)
+            if base is None or isinstance(base, _WoodburyOperator):
+                g = self.model.matrix(base_fan, base_tec)
+                try:
+                    base = spla.splu(g)
+                except RuntimeError as exc:  # pragma: no cover
+                    raise ThermalModelError(
+                        f"G matrix is singular for fan={base_fan}"
+                    ) from exc
+            diff = self.model.diag_delta(fan, tec) - self.model.diag_delta(
+                base_fan, base_tec
+            )
+            idx = np.flatnonzero(diff)
+            key = self._cache_key(fan, tec)
+            op = _WoodburyOperator(base, idx, diff[idx])
+            self._recipe_cache[key] = recipe
+            self._store(key, op)
+            self.n_woodbury_builds += 1

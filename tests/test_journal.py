@@ -1,0 +1,196 @@
+"""Append-only task journal: framing, tail repair, resume semantics.
+
+Worker functions live at module level so the spawn start method can
+pickle them by qualified name (same discipline as test_worker_pool).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.journal import (
+    JOURNAL_MAGIC,
+    JOURNAL_SCHEMA,
+    TaskJournal,
+    _encode_frame,
+    scan_journal,
+)
+from repro.obs import Telemetry, telemetry_session
+from repro.parallel import parallel_map
+
+_CALLS: list = []
+
+
+def _square(x):
+    _CALLS.append(x)
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# frame format and scanning
+# ----------------------------------------------------------------------
+def test_round_trip_header_meta_tasks(tmp_path):
+    path = tmp_path / "run.tfj"
+    with TaskJournal(path, header={"kind": "demo", "n_tasks": 3}) as j:
+        j.put_meta("plan", [1, 2, 3])
+        j.record_task(0, "a")
+        j.record_task(2, "c")
+    header, metas, tasks, truncated = scan_journal(path)
+    assert header == {
+        "kind": "demo",
+        "n_tasks": 3,
+        "journal_schema": JOURNAL_SCHEMA,
+    }
+    assert metas == {"plan": [1, 2, 3]}
+    assert tasks == {0: "a", 2: "c"}
+    assert truncated is None
+    # Frames are self-delimiting: the file starts with the magic.
+    assert path.read_bytes()[:4] == JOURNAL_MAGIC
+
+
+def test_reopen_resumes_tasks_and_appends(tmp_path):
+    path = tmp_path / "run.tfj"
+    with TaskJournal(path, header={"kind": "demo"}) as j:
+        j.record_task(0, 10)
+    with TaskJournal(path, header={"kind": "demo"}) as j:
+        assert j.tasks == {0: 10}
+        j.record_task(1, 11)
+    _, _, tasks, _ = scan_journal(path)
+    assert tasks == {0: 10, 1: 11}
+
+
+@pytest.mark.parametrize(
+    "tail, reason",
+    [
+        (b"TF", "torn frame header"),
+        (JOURNAL_MAGIC + b"\xff\xff", "torn frame header"),
+        (_encode_frame(("task", 9, "x"))[:-3], "torn payload"),
+        (
+            _encode_frame(("task", 9, "x"))[:-3] + b"zzz",
+            "CRC mismatch",
+        ),
+    ],
+)
+def test_torn_tail_detected_reported_and_repaired(tmp_path, tail, reason):
+    path = tmp_path / "run.tfj"
+    with TaskJournal(path, header={"kind": "demo"}) as j:
+        j.record_task(0, "kept")
+    with open(path, "ab") as fh:
+        fh.write(tail)
+    # Read-only scan: intact prefix readable, tear reported.
+    header, _, tasks, truncated = scan_journal(path)
+    assert tasks == {0: "kept"}
+    assert truncated["reason"] == reason
+    assert truncated["bytes_dropped"] == len(tail)
+    # Read-write open repairs the tail (and counts the event)...
+    tel = Telemetry()
+    with telemetry_session(tel):
+        with TaskJournal(path, header={"kind": "demo"}) as j:
+            assert j.tasks == {0: "kept"}
+            assert j.truncated["reason"] == reason
+            j.record_task(1, "after-repair")
+    assert tel.metrics.counter("journal.truncated_tails").value == 1
+    # ...so the next scan is clean, with both records intact.
+    _, _, tasks, truncated = scan_journal(path)
+    assert tasks == {0: "kept", 1: "after-repair"}
+    assert truncated is None
+
+
+def test_header_mismatch_refuses_resume(tmp_path):
+    path = tmp_path / "run.tfj"
+    TaskJournal(path, header={"kind": "fan-sweep", "workload": "lu"}).close()
+    with pytest.raises(CheckpointError, match="different run"):
+        TaskJournal(path, header={"kind": "fan-sweep", "workload": "fft"})
+    # A subset header (or none) matches fine.
+    with TaskJournal(path, header={"kind": "fan-sweep"}) as j:
+        assert j.header["workload"] == "lu"
+
+
+def test_records_without_header_rejected(tmp_path):
+    path = tmp_path / "headless.tfj"
+    path.write_bytes(_encode_frame(("task", 0, "orphan")))
+    with pytest.raises(CheckpointError, match="no header"):
+        TaskJournal(path, header={"kind": "demo"})
+
+
+def test_unpicklable_payload_is_a_tear_not_a_crash(tmp_path):
+    path = tmp_path / "run.tfj"
+    with TaskJournal(path, header={"kind": "demo"}) as j:
+        j.record_task(0, "ok")
+    garbage = b"\x93not-a-pickle"
+    frame = (
+        JOURNAL_MAGIC
+        + __import__("struct").pack("<II", len(garbage),
+                                    __import__("zlib").crc32(garbage))
+        + garbage
+    )
+    with open(path, "ab") as fh:
+        fh.write(frame)
+    _, _, tasks, truncated = scan_journal(path)
+    assert tasks == {0: "ok"}
+    assert truncated["reason"] == "unpicklable payload"
+
+
+# ----------------------------------------------------------------------
+# parallel_map integration: skip completed work, journal new work
+# ----------------------------------------------------------------------
+def test_parallel_map_skips_journaled_tasks(tmp_path):
+    path = tmp_path / "run.tfj"
+    tel = Telemetry()
+    _CALLS.clear()
+    with telemetry_session(tel):
+        with TaskJournal(path, header={"kind": "sq"}) as j:
+            out = parallel_map(_square, [1, 2, 3, 4], jobs=None, journal=j)
+    assert out == [1, 4, 9, 16]
+    assert _CALLS == [1, 2, 3, 4]
+    assert tel.metrics.counter("journal.tasks_recorded").value == 4
+    assert tel.metrics.counter("journal.tasks_skipped").value == 0
+
+    # Resume: everything is journaled, nothing re-executes.
+    _CALLS.clear()
+    tel = Telemetry()
+    with telemetry_session(tel):
+        with TaskJournal(path, header={"kind": "sq"}) as j:
+            out = parallel_map(_square, [1, 2, 3, 4], jobs=None, journal=j)
+    assert out == [1, 4, 9, 16]
+    assert _CALLS == []
+    assert tel.metrics.counter("journal.tasks_skipped").value == 4
+
+
+def test_parallel_map_completes_partial_journal(tmp_path):
+    path = tmp_path / "run.tfj"
+    with TaskJournal(path, header={"kind": "sq"}) as j:
+        j.record_task(1, 4)  # pretend a prior driver finished task 1
+    _CALLS.clear()
+    with TaskJournal(path, header={"kind": "sq"}) as j:
+        out = parallel_map(_square, [1, 2, 3], jobs=None, journal=j)
+    assert out == [1, 4, 9]
+    assert _CALLS == [1, 3]  # only the missing cells ran
+    _, _, tasks, _ = scan_journal(path)
+    assert tasks == {0: 1, 1: 4, 2: 9}
+
+
+def test_stale_out_of_range_keys_are_ignored(tmp_path):
+    path = tmp_path / "run.tfj"
+    with TaskJournal(path, header={"kind": "sq"}) as j:
+        j.record_task(7, 49)  # beyond this run's payload list
+        j.record_task("weird", None)
+    _CALLS.clear()
+    with TaskJournal(path, header={"kind": "sq"}) as j:
+        out = parallel_map(_square, [1, 2], jobs=None, journal=j)
+    assert out == [1, 4]
+    assert _CALLS == [1, 2]
+
+
+def test_journal_payload_values_survive_pickle_boundary(tmp_path):
+    # Values round-trip through the frame pickling untouched.
+    path = tmp_path / "run.tfj"
+    value = {"arr": [1.5, 2.5], "nested": {"k": (1, 2)}}
+    with TaskJournal(path, header={"kind": "demo"}) as j:
+        j.record_task(0, value)
+    _, _, tasks, _ = scan_journal(path)
+    assert tasks[0] == value
+    assert pickle.loads(pickle.dumps(tasks[0])) == value

@@ -112,6 +112,86 @@ def test_invalid_parameters_rejected(tmp_path):
         StreamingExporter(tmp_path / "x.jsonl", flush_every=0)
     with pytest.raises(ObservabilityError):
         StreamingExporter(tmp_path / "x.jsonl", rotate_bytes=0)
+    with pytest.raises(ObservabilityError, match="fsync policy"):
+        StreamingExporter(tmp_path / "x.jsonl", fsync="sometimes")
+
+
+# ----------------------------------------------------------------------
+# crash hardening: atomic parts, torn tails, .tmp fallback
+# ----------------------------------------------------------------------
+def test_atomic_parts_rename_only_complete_parts(tmp_path):
+    path = tmp_path / "run.jsonl"
+    exp = StreamingExporter(
+        path, flush_every=2, rotate_bytes=300, atomic_parts=True,
+        fsync="rotate",
+    )
+    tel = exp.attach(Telemetry())
+    _stream_events(tel, 20)
+    # Mid-stream: every part but the live one is at its final name;
+    # the live part exists only as .tmp.
+    assert len(exp.paths) > 1
+    live = exp.paths[-1]
+    assert not live.exists()
+    assert live.with_name(live.name + ".tmp").exists()
+    for done in exp.paths[:-1]:
+        assert done.exists()
+    paths = exp.close(tel)
+    # After close everything is final and the set regroups cleanly.
+    assert all(p.exists() for p in paths)
+    assert not any(
+        p.with_name(p.name + ".tmp").exists() for p in paths
+    )
+    merged = read_stream_parts(paths)
+    assert [e["i"] for e in merged["events"]] == list(range(20))
+    assert merged["truncations"] == []
+
+
+def test_crashed_atomic_stream_reads_tmp_sibling(tmp_path):
+    # SIGKILL model: no close(), the in-progress part never renamed.
+    path = tmp_path / "run.jsonl"
+    exp = StreamingExporter(
+        path, flush_every=1, rotate_bytes=250, atomic_parts=True
+    )
+    tel = exp.attach(Telemetry())
+    _stream_events(tel, 12)
+    merged = read_stream_parts(exp.paths)
+    assert [e["i"] for e in merged["events"]] == list(range(12))
+    assert merged["manifest"] is None  # never closed
+    assert merged["truncations"] == []
+
+
+def test_torn_tail_is_dropped_and_reported(tmp_path):
+    path = tmp_path / "run.jsonl"
+    exp = StreamingExporter(path, flush_every=1)
+    tel = exp.attach(Telemetry())
+    _stream_events(tel, 6)
+    exp._fh.close()  # crash: buffered writer gone mid-record
+    torn = '{"type": "event", "i": 99, "trunca'
+    with open(path, "a") as fh:
+        fh.write(torn)
+    merged = read_stream_parts([path])
+    # Intact prefix survives; the tear is reported, not raised.
+    assert [e["i"] for e in merged["events"]] == list(range(6))
+    assert len(merged["truncations"]) == 1
+    report = merged["truncations"][0]
+    assert report["path"] == str(path)
+    assert report["bytes_dropped"] == len(torn)
+    assert report["snippet"].startswith('{"type": "event", "i": 99')
+    # The strict reader still refuses the same file: tolerance is an
+    # explicit opt-in via read_stream_parts, never silent.
+    with pytest.raises(ObservabilityError):
+        read_jsonl(path)
+
+
+def test_fsync_always_policy_streams_and_regroups(tmp_path):
+    path = tmp_path / "run.jsonl"
+    exp = StreamingExporter(path, flush_every=2, fsync="always")
+    tel = exp.attach(Telemetry())
+    _stream_events(tel, 5)
+    exp.close(tel)
+    merged = read_stream_parts([path])
+    assert len(merged["events"]) == 5
+    assert merged["truncations"] == []
 
 
 # ----------------------------------------------------------------------

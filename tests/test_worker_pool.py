@@ -8,6 +8,9 @@ from __future__ import annotations
 
 import math
 import os
+import signal
+import subprocess
+import sys
 import time
 
 import numpy as np
@@ -17,6 +20,7 @@ from repro.core.baselines import FanTECController
 from repro.core.engine import EngineConfig, SimulationEngine, run_fan_sweep
 from repro.core.problem import EnergyProblem
 from repro.core.system import build_system
+from repro.journal import TaskJournal, scan_journal
 from repro.obs import Telemetry, telemetry_session
 from repro.parallel import TaskFailure, WorkerPool, parallel_map
 from repro.perf import splash2_workload
@@ -234,3 +238,155 @@ def test_pool_persists_workers_across_map_calls():
         second = set(pool.map(_worker_pid, list(range(8))))
     assert first == second  # same processes served both batches
     assert len(first) <= 2
+
+
+# ----------------------------------------------------------------------
+# crash recovery: journaled fan-outs survive killed workers and drivers
+# ----------------------------------------------------------------------
+def _die_if_marker(task):
+    x, marker = task
+    if x == 3 and os.path.exists(marker):
+        os.unlink(marker)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def test_worker_sigkill_then_journal_resume_completes(tmp_path):
+    marker = tmp_path / "die-once"
+    marker.write_text("armed")
+    journal_path = tmp_path / "batch.tfj"
+    payloads = [(x, str(marker)) for x in range(6)]
+
+    # First attempt: the worker holding task 3 SIGKILLs itself mid-task.
+    # Completed siblings land in the journal; the dead task does not
+    # (only successes are ever journaled).
+    with TaskJournal(journal_path, header={"kind": "sq"}) as j:
+        out = parallel_map(
+            _die_if_marker, payloads, jobs=2, journal=j,
+            on_error="collect",
+        )
+    failed = [i for i, r in enumerate(out) if isinstance(r, TaskFailure)]
+    assert failed == [3]
+    assert out[3].kind == "died"
+    _, _, tasks, _ = scan_journal(journal_path)
+    assert set(tasks) == {0, 1, 2, 4, 5}
+
+    # Resume (marker consumed): only the missing cell re-executes, and
+    # the merged results equal a clean run's.
+    tel = Telemetry()
+    with telemetry_session(tel):
+        with TaskJournal(journal_path, header={"kind": "sq"}) as j:
+            out = parallel_map(_die_if_marker, payloads, jobs=2, journal=j)
+    assert out == [x * x for x in range(6)]
+    assert tel.metrics.counter("journal.tasks_skipped").value == 5
+    assert tel.metrics.counter("journal.tasks_recorded").value == 1
+
+
+_MATRIX_KWARGS = dict(
+    workload="lu",
+    threads=4,
+    max_time_s=0.1,
+    t_fault_s=0.004,
+    mission_scale=2,
+)
+
+_MATRIX_DRIVER = """
+import sys
+from repro.analysis.faultmatrix import run_fault_matrix
+from repro.core.system import build_system
+
+run_fault_matrix(
+    build_system(rows=2, cols=2),
+    workload="lu", threads=4, max_time_s=0.1, t_fault_s=0.004,
+    mission_scale=2, jobs=2, journal_path=sys.argv[1],
+)
+"""
+
+
+def test_driver_sigkill_mid_fault_matrix_resumes_bit_identical(tmp_path):
+    journal_path = tmp_path / "matrix.tfj"
+    src_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _MATRIX_DRIVER, str(journal_path)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    # Poll the journal read-only until at least one cell landed, then
+    # SIGKILL the whole driver (its pool workers are daemonic and die
+    # with it).
+    deadline = time.monotonic() + 180.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break  # driver finished before we got to kill it: still fine
+        try:
+            _, _, tasks, _ = scan_journal(journal_path)
+        except FileNotFoundError:
+            tasks = {}
+        if tasks:
+            break
+        time.sleep(0.05)
+    proc.kill()
+    proc.wait()
+
+    system = build_system(rows=2, cols=2)
+    clean = run_fault_matrix(system, jobs=2, **_MATRIX_KWARGS)
+    tel = Telemetry()
+    with telemetry_session(tel):
+        resumed = run_fault_matrix(
+            system, jobs=2, journal_path=journal_path, **_MATRIX_KWARGS
+        )
+    # The killed driver journaled at least one cell; the resume skipped
+    # it rather than re-running.
+    assert tel.metrics.counter("journal.tasks_skipped").value >= 1
+    assert resumed.t_threshold_c == clean.t_threshold_c
+    assert resumed.hot_component == clean.hot_component
+    assert len(resumed.outcomes) == len(clean.outcomes)
+    for a, b in zip(clean.outcomes, resumed.outcomes):
+        assert _outcomes_equal(a, b), (a.scenario, a.hardened)
+
+
+# ----------------------------------------------------------------------
+# shared-memory leak windows: retire and close reclaim unread results
+# ----------------------------------------------------------------------
+def test_retire_reclaims_unread_shm_result():
+    tel = Telemetry()
+    with telemetry_session(tel):
+        with WorkerPool(2) as pool:
+            pool._ensure_workers(1)
+            worker = pool._idle[0]
+            # Bypass map(): park a completed bulk result in the pipe,
+            # unread — the window where a parent crash used to strand
+            # the segment.
+            worker.conn.send(("task", 0, _big_trace, 70_000, None, False))
+            assert worker.conn.poll(30.0)
+            pool._retire(worker, kill=True)
+    assert tel.metrics.counter("parallel.shm_leaks_reclaimed").value == 1
+
+
+def _sleep_long(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def test_close_reclaims_busy_workers_and_is_idempotent():
+    tel = Telemetry()
+    with telemetry_session(tel):
+        pool = WorkerPool(2)
+        pool.prime()
+        procs = [w.proc for w in pool._idle + pool._busy]
+        assert procs
+        # Park a worker mid-task so close() exercises the kill path —
+        # the state a mid-sweep KeyboardInterrupt leaves behind.
+        worker = pool._idle.pop(0)
+        pool._busy.append(worker)
+        worker.conn.send(("task", 99, _sleep_long, 600.0, None, False))
+        pool.close()
+        pool.close()  # idempotent: second call is a no-op
+    assert pool.n_workers == 0
+    assert all(not p.is_alive() for p in procs)
+    assert all(w.conn.closed for w in [worker])
