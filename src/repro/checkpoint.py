@@ -39,6 +39,24 @@ from repro.obs import telemetry as obs
 CHECKPOINT_SCHEMA = 1
 
 
+def atomic_write_bytes(path, blob: bytes) -> str:
+    """Crash-safe byte write: ``<path>.tmp`` + fsync + rename.
+
+    A reader polling ``path`` concurrently sees either the previous
+    complete file or the new one — never a torn intermediate. Shared by
+    checkpoints and the live status sidecar
+    (:mod:`repro.obs.live`).
+    """
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
 def write_checkpoint(path, payload: dict) -> str:
     """Atomically write one checkpoint payload; returns the final path.
 
@@ -52,12 +70,7 @@ def write_checkpoint(path, payload: dict) -> str:
     payload.setdefault("schema", CHECKPOINT_SCHEMA)
     payload.setdefault("repro_version", __version__)
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    atomic_write_bytes(path, blob)
     obs.incr("checkpoint.writes")
     obs.incr("checkpoint.bytes", len(blob))
     return path

@@ -11,7 +11,12 @@ Usage (installed as the ``tecfan`` entry point)::
     tecfan quick                     # one fast end-to-end TECfan demo
     tecfan run --checkpoint ck.pkl   # checkpointed single simulation
     tecfan run --resume ck.pkl       # resume it (bit-identical result)
+    tecfan run --status-file s.json  # live status sidecar for `watch`
+    tecfan watch s.json              # refreshing live view of that run
     tecfan sweep --journal sweep.tfj # crash-recoverable fan sweep
+    tecfan sweep --status-file s.json   # pool heartbeats for `top`
+    tecfan top s.json                # one row per worker / sweep cell
+    tecfan run ... --metrics-port 0  # Prometheus scrape endpoint
     tecfan profile                   # instrumented run + profile tables
     tecfan profile --load out.jsonl  # re-render a saved telemetry stream
     tecfan trace diff A.jsonl B.jsonl   # span/counter regression gate
@@ -155,10 +160,26 @@ def _cmd_run(args) -> int:
     from repro.exceptions import CheckpointError
 
     if args.resume is not None:
-        from repro.checkpoint import resume_engine_run
-
         try:
-            result = resume_engine_run(args.resume)
+            if args.status_file is not None:
+                # The snapshotted config predates the flag; override it
+                # so the resumed half of the run is watchable too.
+                from repro.checkpoint import load_checkpoint
+                from repro.core.engine import SimulationEngine
+
+                ck = load_checkpoint(args.resume, kind="engine-run")
+                ck["config"].status_path = args.status_file
+                ck["config"].status_every_s = args.status_every_s
+                engine = SimulationEngine(
+                    system=ck["system"],
+                    problem=ck["problem"],
+                    config=ck["config"],
+                )
+                result = engine.resume(ck)
+            else:
+                from repro.checkpoint import resume_engine_run
+
+                result = resume_engine_run(args.resume)
         except CheckpointError as exc:
             print(f"tecfan run: cannot resume {args.resume}: {exc}",
                   file=sys.stderr)
@@ -196,6 +217,9 @@ def _cmd_run(args) -> int:
     if args.checkpoint is not None:
         engine_kwargs["checkpoint_path"] = args.checkpoint
         engine_kwargs["checkpoint_every_s"] = args.checkpoint_every_s
+    if args.status_file is not None:
+        engine_kwargs["status_path"] = args.status_file
+        engine_kwargs["status_every_s"] = args.status_every_s
 
     try:
         controller = _make_controller(args.policy)
@@ -251,6 +275,8 @@ def _cmd_sweep(args) -> int:
             controller,
             jobs=args.jobs,
             journal_path=args.journal,
+            status_path=args.status_file,
+            status_every_s=args.status_every_s,
         )
     except CheckpointError as exc:
         print(f"tecfan sweep: journal mismatch: {exc}", file=sys.stderr)
@@ -264,6 +290,51 @@ def _cmd_sweep(args) -> int:
     print(f"chosen: fan={chosen.metrics.fan_level}")
     print(f"digest: {result_digest(chosen)}")
     return 0
+
+
+def _cmd_watch(args, prog: str) -> int:
+    """Shared body of ``tecfan watch`` and ``tecfan top``.
+
+    Both read the same status sidecar; the renderer dispatches on the
+    snapshot's ``kind``, so either command works against either kind —
+    the two names exist for discoverability. ``--once`` prints a single
+    plain-text view (exit 2 when the file is missing/invalid — the CI
+    smoke mode); the default loop refreshes every ``--interval``
+    seconds, tolerates a not-yet-written file, and exits 0 when the
+    snapshot reports ``done`` (or on Ctrl-C).
+    """
+    import time
+
+    from repro.exceptions import ObservabilityError
+    from repro.obs.live import read_status, render_status
+
+    if args.once:
+        try:
+            status = read_status(args.status_file)
+        except ObservabilityError as exc:
+            print(f"{prog}: {exc}", file=sys.stderr)
+            return 2
+        print(render_status(status))
+        return 0
+
+    try:
+        while True:
+            try:
+                status = read_status(args.status_file)
+            except ObservabilityError as exc:
+                print(f"{prog}: waiting — {exc}", file=sys.stderr)
+                time.sleep(args.interval)
+                continue
+            # ANSI clear + home, so the view refreshes in place.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(render_status(status))
+            sys.stdout.flush()
+            if status.get("done"):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_profile(args) -> int:
@@ -428,6 +499,15 @@ def main(argv: list[str] | None = None) -> int:
         help="with --telemetry-stream, rotate to a new .partNNN file "
         "once the current part exceeds MB megabytes",
     )
+    common.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve the live MetricsRegistry (plus --status-file gauges "
+        "when set) in Prometheus text format on PORT over a background "
+        "http.server thread (0 = ephemeral; the bound port is printed)",
+    )
     # Experiment fan-out (policy suites): worker process count.
     jobs_parent = argparse.ArgumentParser(add_help=False)
     jobs_parent.add_argument(
@@ -455,6 +535,24 @@ def main(argv: list[str] | None = None) -> int:
         help="retry a failed or timed-out worker task up to K times "
         "(sets TECFAN_JOB_RETRIES for every fan-out in this command)",
     )
+    # Live-status sidecar (repro.obs.live): run and sweep write it, the
+    # watch/top consumers read it.
+    status_parent = argparse.ArgumentParser(add_help=False)
+    status_parent.add_argument(
+        "--status-file",
+        metavar="PATH",
+        default=None,
+        help="write periodic live-status snapshots here (atomic "
+        "replace; watch with `tecfan watch PATH` / `tecfan top PATH`); "
+        "snapshots never change results",
+    )
+    status_parent.add_argument(
+        "--status-every-s",
+        type=float,
+        metavar="S",
+        default=1.0,
+        help="wall-clock cadence between status snapshots [s]",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", parents=[common], help="Table I base scenario")
     sub.add_parser("fig4", parents=[common], help="Figure 4: TEC+fan integration")
@@ -476,7 +574,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     runp = sub.add_parser(
         "run",
-        parents=[common],
+        parents=[common, status_parent],
         help="one simulation with optional periodic checkpoints / resume",
     )
     runp.add_argument("--workload", default="lu", help="SPLASH-2 benchmark name")
@@ -536,7 +634,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     sweepp = sub.add_parser(
         "sweep",
-        parents=[common, jobs_parent],
+        parents=[common, jobs_parent, status_parent],
         help="fan-level sweep of one policy (crash-recoverable "
         "with --journal)",
     )
@@ -563,6 +661,33 @@ def main(argv: list[str] | None = None) -> int:
         help="append completed levels to this crash-recovery journal; "
         "re-running with the same path redoes only missing levels",
     )
+    watchp = sub.add_parser(
+        "watch",
+        help="live view of a running simulation's --status-file "
+        "(progress, ETA, thermal headroom, anomalies)",
+    )
+    topp = sub.add_parser(
+        "top",
+        help="live view of a pool/sweep --status-file "
+        "(one row per worker, replayed vs live cells)",
+    )
+    for viewer in (watchp, topp):
+        viewer.add_argument(
+            "status_file", help="status sidecar written by --status-file"
+        )
+        viewer.add_argument(
+            "--once",
+            action="store_true",
+            help="print one plain-text snapshot and exit (CI / piping; "
+            "exit 2 when the file is missing or invalid)",
+        )
+        viewer.add_argument(
+            "--interval",
+            type=float,
+            metavar="S",
+            default=2.0,
+            help="refresh period in loop mode [s]",
+        )
     prof = sub.add_parser(
         "profile",
         parents=[common],
@@ -691,6 +816,8 @@ def main(argv: list[str] | None = None) -> int:
         "quick": _cmd_quick,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "watch": lambda a: _cmd_watch(a, "tecfan watch"),
+        "top": lambda a: _cmd_watch(a, "tecfan top"),
         "profile": _cmd_profile,
         "trace": _cmd_trace,
     }
@@ -698,9 +825,11 @@ def main(argv: list[str] | None = None) -> int:
 
     telemetry_path = getattr(args, "telemetry", None)
     stream_path = getattr(args, "telemetry_stream", None)
+    metrics_port = getattr(args, "metrics_port", None)
     needs_session = (
         telemetry_path is not None
         or stream_path is not None
+        or metrics_port is not None
         or (args.command == "profile" and args.load is None)
     )
     if not needs_session:
@@ -727,9 +856,24 @@ def main(argv: list[str] | None = None) -> int:
         tel.annotate(
             "command", list(argv) if argv is not None else sys.argv[1:]
         )
+        server = None
+        if metrics_port is not None:
+            from repro.obs.live import MetricsServer
+
+            server = MetricsServer(
+                metrics_port,
+                status_path=getattr(args, "status_file", None),
+            )
+            print(
+                f"metrics: serving Prometheus text on port {server.port} "
+                "(GET any path)",
+                file=sys.stderr,
+            )
         try:
             rc = handler(args)
         finally:
+            if server is not None:
+                server.close()
             if exporter is not None:
                 parts = exporter.close(tel)
                 print(

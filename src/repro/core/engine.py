@@ -29,6 +29,8 @@ activation accordingly (Sec. IV-C's conservative accounting).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -116,6 +118,13 @@ class EngineConfig:
     #: be set together; None disables checkpointing entirely.
     checkpoint_every_s: float | None = None
     checkpoint_path: str | None = None
+    #: Live status sidecar (repro.obs.live): periodically snapshot
+    #: progress/ETA/thermal headroom/pool-free run state to this path
+    #: for ``tecfan watch``. Side-effect-free — a run with a status
+    #: file is bit-identical (same ``result_digest``) to one without.
+    status_path: str | None = None
+    #: Wall-clock seconds between status snapshots.
+    status_every_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.dt_lower_s <= 0 or self.fan_period_s <= 0:
@@ -142,6 +151,8 @@ class EngineConfig:
             )
         if self.checkpoint_every_s is not None and self.checkpoint_every_s <= 0:
             raise ConfigurationError("checkpoint_every_s must be positive")
+        if self.status_every_s <= 0:
+            raise ConfigurationError("status_every_s must be positive")
 
     @property
     def hardened(self) -> bool:
@@ -216,6 +227,9 @@ class _Checkpointer:
         self.next_due = (
             np.floor(self.start_s / self.every_s + 1e-9) + 1.0
         ) * self.every_s
+        #: Wall-clock stamp of the latest snapshot (None before the
+        #: first); the live status reporter turns it into checkpoint age.
+        self.last_write_unix: float | None = None
 
     def advance(self, time_s: float) -> None:
         """Move the due point past ``time_s`` (fast-forward aware)."""
@@ -266,6 +280,24 @@ class SimulationEngine:
             ),
             fallback=cfg.estimator_fallback,
             refuge=safe_state(system.n_tec_devices, system.n_cores),
+        )
+
+    def _build_status(self, run: WorkloadRun, controller: Controller, ckpt):
+        """Live status reporter for this run, or None when disabled."""
+        cfg = self.config
+        if cfg.status_path is None:
+            return None
+        from repro.obs.live import RunStatusReporter
+
+        return RunStatusReporter(
+            cfg.status_path,
+            every_s=cfg.status_every_s,
+            max_time_s=cfg.max_time_s,
+            t_threshold_c=self.problem.t_threshold_c,
+            system=self.system,
+            workload=run.workload.name,
+            policy=controller.name,
+            checkpoint=ckpt,
         )
 
     # ------------------------------------------------------------------
@@ -360,6 +392,7 @@ class SimulationEngine:
                 ckpt = _Checkpointer(
                     cfg.checkpoint_path, cfg.checkpoint_every_s
                 )
+            status = self._build_status(run, controller, ckpt)
             with obs.span("engine.run"):
                 (
                     state,
@@ -380,6 +413,7 @@ class SimulationEngine:
                     max_intervals=None,
                     guards=self._build_guards(),
                     checkpoint=ckpt,
+                    status=status,
                 )
         finally:
             if restore_woodbury is not None:
@@ -471,6 +505,7 @@ class SimulationEngine:
                     cfg.checkpoint_every_s,
                     start_s=ck["loop"]["time_s"],
                 )
+            status = self._build_status(run, controller, ckpt)
             with obs.span("engine.run"):
                 (
                     state,
@@ -491,6 +526,7 @@ class SimulationEngine:
                     max_intervals=None,
                     guards=guards,
                     checkpoint=ckpt,
+                    status=status,
                     resume=dict(ck["loop"]),
                 )
         finally:
@@ -566,6 +602,7 @@ class SimulationEngine:
                 ),
             },
         )
+        ckpt.last_write_unix = time.time()
 
     def _simulate(
         self,
@@ -579,6 +616,7 @@ class SimulationEngine:
         max_intervals: int | None,
         guards: _RunGuards | None = None,
         checkpoint: _Checkpointer | None = None,
+        status=None,
         resume: dict | None = None,
     ):
         """Advance the plant + controller loop; optionally record.
@@ -594,6 +632,14 @@ class SimulationEngine:
         simulated time crosses its cadence; ``resume`` restores the
         loop-local variables a snapshot captured, so a resumed run
         re-enters the loop exactly where the checkpoint left it.
+
+        ``status`` is the optional live-status reporter
+        (:class:`repro.obs.live.RunStatusReporter`): polled at the loop
+        top — which every iteration passes through, including the one
+        following a fast-forwarded chunk, so snapshots also land on
+        fast-forward boundaries — and forced once more (``done=True``)
+        after the loop exits. Reporting only reads loop state, so it
+        cannot perturb the run.
         """
         system = self.system
         cfg = self.config
@@ -669,6 +715,15 @@ class SimulationEngine:
                     },
                 )
                 checkpoint.advance(time_s)
+            if status is not None:
+                status.maybe_report(
+                    time_s=time_s,
+                    t_nodes=t_nodes,
+                    trace=trace,
+                    intervals=intervals,
+                    total_instructions=total_instructions,
+                    state=state,
+                )
             if kernel and quiet >= cfg.fast_forward_quiet:
                 k_cap = min(
                     cfg.fast_forward_max,
@@ -909,6 +964,19 @@ class SimulationEngine:
         if time_s > 0:
             run_avg_p /= time_s
             run_avg_tec /= time_s
+        if status is not None:
+            # Final snapshot so watchers see the completed run even if
+            # the cadence never fired again near the end.
+            status.maybe_report(
+                time_s=time_s,
+                t_nodes=t_nodes,
+                trace=trace,
+                intervals=intervals,
+                total_instructions=total_instructions,
+                state=state,
+                done=True,
+                force=True,
+            )
         return (
             state,
             t_nodes,
@@ -1125,6 +1193,8 @@ def run_fan_sweep(
     violation_tolerance: float = 0.05,
     jobs: int | None = None,
     journal_path=None,
+    status_path=None,
+    status_every_s: float = 1.0,
 ) -> tuple[SimulationResult, list[RunMetrics]]:
     """Run a policy at every fan level; keep the paper's selection.
 
@@ -1154,6 +1224,11 @@ def run_fan_sweep(
         re-executes only the missing ones. The payloads are recreated
         deterministically from the workload definition, so journaled
         indices stay valid across driver restarts.
+    status_path:
+        Live-status sidecar for ``tecfan top`` (:mod:`repro.obs.live`):
+        heartbeat snapshots of the sweep — one row per worker, replayed
+        vs live cell counts on journal resumes — land there every
+        ``status_every_s`` wall-seconds.
     """
     from repro.parallel import parallel_map
 
@@ -1180,6 +1255,17 @@ def run_fan_sweep(
             jobs,
             context=(engine, controller),
             journal=journal,
+            status_path=status_path,
+            status_every_s=status_every_s,
+            status_meta={
+                "label": (
+                    f"fan-sweep {payloads[0][0].workload.name}"
+                    f"/{controller.name}"
+                ),
+                "journal": (
+                    None if journal_path is None else os.fspath(journal_path)
+                ),
+            },
         )
     finally:
         if journal is not None:

@@ -100,6 +100,15 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self._rows)
 
+    def rows_since(self, start: int) -> list:
+        """Raw row tuples appended at index ``start`` or later.
+
+        Lets incremental consumers (the live status reporter) fold only
+        the new intervals each visit instead of rescanning the full
+        trace; columns follow ``append``'s argument order.
+        """
+        return self._rows[start:]
+
     # ------------------------------------------------------------------
     def _column(self, idx: int) -> np.ndarray:
         return np.array([r[idx] for r in self._rows])

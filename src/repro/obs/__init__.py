@@ -16,7 +16,10 @@ The ``repro.obs`` package is the reproduction's telemetry substrate
 - :mod:`~repro.obs.merge` — picklable worker-session capture for the
   parallel fan-out (aggregates merge back via :meth:`Telemetry.merge`);
 - :mod:`~repro.obs.streaming` — :class:`StreamingExporter`, incremental
-  JSONL export with bounded memory and optional rotation.
+  JSONL export with bounded memory and optional rotation;
+- :mod:`~repro.obs.live` — the in-flight plane: atomic status-snapshot
+  sidecars (``tecfan watch`` / ``tecfan top``) and the Prometheus
+  scrape endpoint (``--metrics-port``).
 
 Telemetry is **off by default**: every hook degrades to a global
 ``is None`` check, so instrumented hot paths behave identically — and
@@ -48,6 +51,19 @@ from repro.obs.merge import (
     PersistentWorkerSession,
     WorkerTelemetry,
     capture_worker_telemetry,
+)
+from repro.obs.live import (
+    STATUS_SCHEMA,
+    MetricsServer,
+    PoolStatusReporter,
+    RunStatusReporter,
+    prometheus_text,
+    read_status,
+    render_status,
+    render_top,
+    render_watch,
+    status_anomalies,
+    write_status,
 )
 from repro.obs.streaming import StreamingExporter, read_stream_parts
 from repro.obs.metrics import (
@@ -85,6 +101,17 @@ __all__ = [
     "PersistentWorkerSession",
     "WorkerTelemetry",
     "capture_worker_telemetry",
+    "STATUS_SCHEMA",
+    "MetricsServer",
+    "PoolStatusReporter",
+    "RunStatusReporter",
+    "prometheus_text",
+    "read_status",
+    "render_status",
+    "render_top",
+    "render_watch",
+    "status_anomalies",
+    "write_status",
     "StreamingExporter",
     "read_stream_parts",
     "DEFAULT_MS_BUCKETS",

@@ -177,7 +177,8 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram(name=name, edges=edges)
         elif tuple(float(e) for e in edges) != h.edges:
             raise ObservabilityError(
-                f"histogram {name!r} re-registered with different edges"
+                f"histogram {name!r} re-registered with different edges: "
+                f"{tuple(float(e) for e in edges)} vs {h.edges}"
             )
         return h
 

@@ -116,11 +116,33 @@ class Telemetry:
         return _Span(self, name, hist_ms)
 
     def event(self, kind: str, **fields) -> None:
-        """Record one structured event (if event recording is on)."""
+        """Record one structured event (if event recording is on).
+
+        Past ``MAX_EVENTS`` retained records (sink-less sessions only),
+        events are dropped: one loud ``warnings.warn`` fires at drop
+        onset — a silently truncated event stream reads as a complete
+        one otherwise — and every drop feeds both the
+        ``events_dropped`` attribute (already in the manifest) and the
+        ``obs.events_dropped`` counter, so the truncation survives into
+        merged/exported aggregates too.
+        """
         if not self.record_events:
             return
         if self.event_sink is None and len(self.events) >= MAX_EVENTS:
+            if self.events_dropped == 0:
+                import warnings
+
+                warnings.warn(
+                    f"telemetry event retention cap MAX_EVENTS="
+                    f"{MAX_EVENTS} hit: further events will be DROPPED "
+                    "(aggregates stay complete, the event stream is "
+                    "truncated) — use the streaming exporter "
+                    "(--telemetry-stream) for long runs",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
             self.events_dropped += 1
+            self.metrics.counter("obs.events_dropped").inc()
             return
         record = {"kind": kind, "t_rel_s": time.perf_counter() - self._t0}
         record.update(fields)

@@ -546,6 +546,7 @@ class WorkerPool:
         on_error: str = "raise",
         capture: bool | None = None,
         on_result: Callable | None = None,
+        status=None,
     ) -> list:
         """``[fn(p) for p in payloads]`` (or ``fn(context, p)``) across
         the pool's workers; results in payload order.
@@ -556,6 +557,14 @@ class WorkerPool:
         ``on_result(index, value)`` fires the moment each task's result
         is decoded — in *completion* order, not payload order — so a
         journal can persist progress before the batch finishes.
+
+        ``status`` is an optional
+        :class:`repro.obs.live.PoolStatusReporter`; its heartbeats
+        piggyback the pipes the scheduler already watches (every
+        dispatch and every reply feeds the per-worker rows — no extra
+        protocol messages), and the scheduler's wait is capped at the
+        status cadence so a heartbeat lands even while every worker is
+        deep in a long task.
         """
         if self._closed:
             raise ParallelExecutionError([(-1, "pool is closed")])
@@ -589,11 +598,15 @@ class WorkerPool:
             nonlocal pending
             if attempt < retries:
                 obs.incr("parallel.retries")
+                if status is not None:
+                    status.note_retry()
                 not_before = time.monotonic() + backoff_s * (2.0**attempt)
                 queue.append((index, attempt + 1, not_before))
                 return
             pending -= 1
             obs.incr("parallel.pool_tasks")
+            if status is not None:
+                status.note_failure(kind)
             if on_error == "collect":
                 results[index] = TaskFailure(
                     index=index,
@@ -615,6 +628,8 @@ class WorkerPool:
                     ("task", task_id, fn, payloads[index], token, capture)
                 )
             except (BrokenPipeError, OSError):
+                if status is not None:
+                    status.worker_retired(worker.proc.pid)
                 self._retire(worker, kill=True)
                 queue.appendleft((index, attempt, 0.0))
                 return False
@@ -625,6 +640,8 @@ class WorkerPool:
                 time.monotonic() + timeout_s if timeout_s is not None else None,
             )
             self._busy.append(worker)
+            if status is not None:
+                status.worker_dispatch(worker.proc.pid, index)
             return True
 
         try:
@@ -639,6 +656,11 @@ class WorkerPool:
                         continue
                     dispatch(self._idle.pop(), index, attempt)
                 queue.extend(held)
+
+                if status is not None:
+                    status.maybe_report(
+                        in_flight=len(self._busy), queued=len(queue)
+                    )
 
                 if not self._busy:
                     if not queue:  # pragma: no cover - settled via retire
@@ -662,6 +684,14 @@ class WorkerPool:
                     if wake is not None
                     else None
                 )
+                if status is not None:
+                    # Cap the block so a heartbeat still lands while
+                    # every worker is deep inside a long task.
+                    wait_s = (
+                        status.cadence.every_s
+                        if wait_s is None
+                        else min(wait_s, status.cadence.every_s)
+                    )
                 ready = mp.connection.wait(
                     [w.conn for w in self._busy], timeout=wait_s
                 )
@@ -675,6 +705,8 @@ class WorkerPool:
                         except (EOFError, OSError):
                             msg = None
                         if msg is None:
+                            if status is not None:
+                                status.worker_retired(worker.proc.pid)
                             self._retire(worker)
                             settle(
                                 index,
@@ -688,6 +720,8 @@ class WorkerPool:
                         worker.task = None
                         self._busy.remove(worker)
                         self._idle.append(worker)
+                        if status is not None:
+                            status.worker_reply(worker.proc.pid)
                         if msg[0] == "ok":
                             _, _, desc, wtel, warm, shm_bytes = msg
                             results[index] = _decode_result(desc)
@@ -695,6 +729,10 @@ class WorkerPool:
                                 on_result(index, results[index])
                             pending -= 1
                             obs.incr("parallel.pool_tasks")
+                            if status is not None:
+                                status.note_success()
+                                if shm_bytes:
+                                    status.add_shm(shm_bytes)
                             if warm:
                                 obs.incr("parallel.worker_cache_warm_hits")
                             if shm_bytes:
@@ -705,6 +743,9 @@ class WorkerPool:
                             settle(index, attempt, "error", msg[2])
                     elif deadline is not None and now >= deadline:
                         obs.incr("parallel.timeouts")
+                        if status is not None:
+                            status.note_timeout()
+                            status.worker_retired(worker.proc.pid)
                         self._retire(worker, kill=True)
                         settle(
                             index,
@@ -743,6 +784,10 @@ def parallel_map(
     pool: WorkerPool | None = None,
     on_result: Callable | None = None,
     journal=None,
+    status_path=None,
+    status_every_s: float = 1.0,
+    status_meta: dict | None = None,
+    _status=None,
 ) -> list:
     """``[fn(p) for p in payloads]`` across persistent worker processes.
 
@@ -799,6 +844,16 @@ def parallel_map(
         worker that died mid-task simply never journaled it. Only
         successful results are journaled; :class:`TaskFailure` partials
         are not, and re-run on resume.
+    status_path:
+        Optional live-status sidecar for ``tecfan top``
+        (:mod:`repro.obs.live`): the fan-out writes heartbeat snapshots
+        there every ``status_every_s`` wall-seconds — per-worker rows,
+        settled/in-flight/queued counts, shm bytes, and (with a
+        journal) which cells were replayed rather than re-run.
+        ``status_meta`` annotates the snapshot (e.g. a display label
+        and the journal path). ``_status`` is internal: the recursed
+        journal-resume call passes the outer reporter down so replayed
+        cells and the sub-batch's live dispatches land in one file.
 
     Returns
     -------
@@ -814,6 +869,17 @@ def parallel_map(
             [(-1, f"invalid on_error value {on_error!r}")]
         )
     payloads = list(payloads)
+    own_status = False
+    if _status is None and status_path is not None:
+        from repro.obs.live import PoolStatusReporter
+
+        _status = PoolStatusReporter(
+            status_path,
+            every_s=status_every_s,
+            total=len(payloads),
+            meta=status_meta,
+        )
+        own_status = True
     if journal is not None:
         done = {
             k: v
@@ -822,6 +888,12 @@ def parallel_map(
         }
         todo = [i for i in range(len(payloads)) if i not in done]
         obs.incr("journal.tasks_skipped", len(payloads) - len(todo))
+        if _status is not None:
+            # The recursed call dispatches sub-batch indices; map them
+            # back to the caller's cell numbering for display, and
+            # surface the journal-replayed cells separately from live.
+            _status.note_replayed(done.keys())
+            _status.index_map = todo
 
         def _record(sub_index: int, value, _todo=todo) -> None:
             index = _todo[sub_index]
@@ -840,34 +912,43 @@ def parallel_map(
             on_error=on_error,
             pool=pool,
             on_result=_record,
+            _status=_status,
         )
         results = [None] * len(payloads)
         for index, value in done.items():
             results[index] = value
         for j, index in enumerate(todo):
             results[index] = sub[j]
+        if own_status:
+            _status.finish()
         return results
 
     n = pool.jobs if pool is not None else resolve_jobs(jobs)
     timeout_s = _resolve_timeout(timeout_s)
     retries = _resolve_retries(retries)
 
-    if n <= 1 or len(payloads) <= 1:
-        return _serial_map(
-            fn, payloads, retries, backoff_s, on_error, context, on_result
+    try:
+        if n <= 1 or len(payloads) <= 1:
+            return _serial_map(
+                fn, payloads, retries, backoff_s, on_error, context,
+                on_result, _status,
+            )
+        kwargs = dict(
+            context=context,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            on_error=on_error,
+            on_result=on_result,
+            status=_status,
         )
-    kwargs = dict(
-        context=context,
-        timeout_s=timeout_s,
-        retries=retries,
-        backoff_s=backoff_s,
-        on_error=on_error,
-        on_result=on_result,
-    )
-    if pool is not None:
-        return pool.map(fn, payloads, **kwargs)
-    with WorkerPool(n) as private:
-        return private.map(fn, payloads, **kwargs)
+        if pool is not None:
+            return pool.map(fn, payloads, **kwargs)
+        with WorkerPool(n) as private:
+            return private.map(fn, payloads, **kwargs)
+    finally:
+        if own_status:
+            _status.finish()
 
 
 def _serial_map(
@@ -878,24 +959,44 @@ def _serial_map(
     on_error: str,
     context=None,
     on_result: Callable | None = None,
+    status=None,
 ) -> list:
-    """In-process execution: retries apply, deadlines cannot."""
+    """In-process execution: retries apply, deadlines cannot.
+
+    With a ``status`` reporter the parent process itself shows up as
+    the single "worker" row, so ``tecfan top`` works identically on
+    serial and pooled fan-outs.
+    """
+    pid = os.getpid()
     results: list = []
     failures: list = []
     for i, p in enumerate(payloads):
+        if status is not None:
+            status.worker_dispatch(pid, i)
+            status.maybe_report(
+                in_flight=1, queued=len(payloads) - i - 1
+            )
         for attempt in range(retries + 1):
             try:
                 results.append(
                     fn(p) if context is None else fn(context, p)
                 )
+                if status is not None:
+                    status.worker_reply(pid)
+                    status.note_success()
                 if on_result is not None:
                     on_result(i, results[-1])
                 break
             except Exception:
                 if attempt < retries:
                     obs.incr("parallel.retries")
+                    if status is not None:
+                        status.note_retry()
                     time.sleep(backoff_s * (2.0**attempt))
                     continue
+                if status is not None:
+                    status.worker_reply(pid)
+                    status.note_failure("error")
                 if on_error == "raise" and retries == 0:
                     raise  # classic serial contract: original exception
                 detail = traceback.format_exc()

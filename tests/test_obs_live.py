@@ -1,0 +1,581 @@
+"""Live observability plane: status sidecar, watch/top, Prometheus.
+
+The contracts under test (docs/OBSERVABILITY.md "Live monitoring"):
+
+* the status sidecar is written atomically — a reader polling
+  mid-rename always gets either the previous or the next *complete*
+  snapshot, never a torn one, and sequence numbers never go backwards;
+* enabling ``status_path`` on an engine run is side-effect-free: the
+  result is bit-identical (``result_digest``) to the same run without;
+* ``tecfan watch --once`` / ``tecfan top --once`` exit 0 against live
+  and journal-resumed runs, exit 2 against a missing file;
+* the Prometheus exposition renders counters/gauges/histograms in text
+  format 0.0.4 and serves them over the ``--metrics-port`` thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import result_digest
+from repro.cli import main
+from repro.core.engine import EngineConfig, SimulationEngine, run_fan_sweep
+from repro.core.problem import EnergyProblem
+from repro.core.system import build_system
+from repro.core.tecfan import TECfanController
+from repro.core.trace import TraceRecorder
+from repro.exceptions import ConfigurationError, ObservabilityError
+from repro.obs import Telemetry, telemetry_session
+from repro.obs.live import (
+    STATUS_SCHEMA,
+    MetricsServer,
+    PoolStatusReporter,
+    RunStatusReporter,
+    _Cadence,
+    prometheus_text,
+    read_status,
+    render_status,
+    render_top,
+    render_watch,
+    status_anomalies,
+    write_status,
+)
+from repro.parallel import parallel_map
+from repro.perf import splash2_workload
+from repro.perf.splash2 import REF_FREQ_GHZ
+from repro.perf.workload import WorkloadRun
+
+
+# ----------------------------------------------------------------------
+# Sidecar file: round trip, validation, atomicity
+# ----------------------------------------------------------------------
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "s.json"
+    write_status(path, {"kind": "engine-run", "seq": 3, "done": False})
+    status = read_status(path)
+    assert status["schema"] == STATUS_SCHEMA
+    assert status["kind"] == "engine-run"
+    assert status["seq"] == 3
+
+
+def test_read_missing_file_raises(tmp_path):
+    with pytest.raises(ObservabilityError, match="no status file"):
+        read_status(tmp_path / "absent.json")
+
+
+def test_read_rejects_non_json(tmp_path):
+    path = tmp_path / "s.json"
+    path.write_bytes(b"not json at all {")
+    with pytest.raises(ObservabilityError, match="not valid JSON"):
+        read_status(path)
+
+
+def test_read_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps({"schema": 999, "kind": "engine-run"}))
+    with pytest.raises(ObservabilityError, match="schema 999"):
+        read_status(path)
+
+
+def test_write_counts_snapshots(tmp_path):
+    with telemetry_session() as tel:
+        write_status(tmp_path / "s.json", {"kind": "pool"})
+        counters = tel.metrics.snapshot()["counters"]
+    assert counters["live.snapshots_written"] == 1
+    assert counters["live.snapshot_bytes"] > 0
+
+
+def test_concurrent_reads_never_torn(tmp_path):
+    """A reader polling mid-rename sees only complete snapshots.
+
+    The writer thread hammers ``write_status`` with increasing ``seq``
+    and a payload whose checksum field must match its body; the reader
+    polls as fast as it can. Every successful read must parse, carry a
+    self-consistent payload, and have a seq no older than the last one
+    observed (the tolerant-reader analogue of ``read_stream_parts``).
+    """
+    path = tmp_path / "s.json"
+    n_writes = 300
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def writer():
+        for seq in range(n_writes):
+            body = "x" * (seq % 97)
+            write_status(
+                path,
+                {"kind": "pool", "seq": seq, "body": body,
+                 "body_len": len(body)},
+            )
+        stop.set()
+
+    seen = []
+
+    def reader():
+        last = -1
+        polling = True
+        while polling:
+            polling = not stop.is_set()  # one final read after the writer
+            try:
+                status = read_status(path)
+            except ObservabilityError as exc:
+                if "no status file" in str(exc):
+                    continue  # writer has not created it yet
+                errors.append(str(exc))
+                break
+            if status["body_len"] != len(status["body"]):
+                errors.append(f"torn payload at seq {status['seq']}")
+                break
+            if status["seq"] < last:
+                errors.append(
+                    f"seq went backwards: {status['seq']} < {last}"
+                )
+                break
+            last = status["seq"]
+            seen.append(last)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert seen, "readers never observed a snapshot"
+
+
+def test_cadence_first_call_due_then_throttled():
+    c = _Cadence(10.0)
+    assert c.due(0.0)
+    c.advance(0.0)
+    assert not c.due(9.99)
+    assert c.due(10.0)
+    with pytest.raises(ObservabilityError):
+        _Cadence(0.0)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class _StubSystem:
+    def component_temps_c(self, t_nodes):
+        return np.asarray(t_nodes, dtype=float)
+
+
+class _StubState:
+    fan_level = 2
+
+
+def _engine_reporter(path, **kw):
+    kw.setdefault("every_s", 1.0)
+    kw.setdefault("max_time_s", 1.0)
+    kw.setdefault("t_threshold_c", 85.0)
+    kw.setdefault("system", _StubSystem())
+    return RunStatusReporter(path, workload="lu", policy="TECfan", **kw)
+
+
+def _trace_with(rows):
+    trace = TraceRecorder()
+    for t, dt, peak, p in rows:
+        trace.append(
+            time_s=t, dt_s=dt, peak_temp_c=peak, p_chip_w=p,
+            p_cores_w=p, p_tec_w=0.0, p_fan_w=0.0, ips_chip=1e9,
+            tec_on=0, fan_level=2, mean_dvfs_level=0.0,
+        )
+    return trace
+
+
+def test_run_reporter_snapshot_fields(tmp_path):
+    path = tmp_path / "s.json"
+    rep = _engine_reporter(path)
+    trace = _trace_with([(0.0, 0.002, 80.0, 100.0), (0.002, 0.002, 81.0, 110.0)])
+    assert rep.maybe_report(
+        time_s=0.004, t_nodes=[79.0, 81.0], trace=trace, intervals=2,
+        total_instructions=2e6, state=_StubState(),
+    )
+    status = read_status(path)
+    assert status["kind"] == "engine-run"
+    assert status["progress"]["sim_time_s"] == pytest.approx(0.004)
+    assert status["progress"]["fraction"] == pytest.approx(0.004)
+    assert status["thermal"]["peak_temp_c"] == pytest.approx(81.0)
+    assert status["thermal"]["headroom_c"] == pytest.approx(4.0)
+    assert status["thermal"]["run_peak_c"] == pytest.approx(81.0)
+    # energy folds sum(P * dt) incrementally
+    assert status["energy"]["energy_j"] == pytest.approx(
+        100.0 * 0.002 + 110.0 * 0.002
+    )
+    assert status["energy"]["epi_j"] == pytest.approx(0.42 / 2e6)
+    assert status["fan_level"] == 2
+    assert len(status["history"]) == 1
+
+
+def test_run_reporter_incremental_and_cadence(tmp_path):
+    path = tmp_path / "s.json"
+    rep = _engine_reporter(path, every_s=1000.0)
+    trace = _trace_with([(0.0, 0.002, 80.0, 100.0)])
+    assert rep.maybe_report(
+        time_s=0.002, t_nodes=[80.0], trace=trace, intervals=1,
+        total_instructions=1e6, state=_StubState(),
+    )
+    # not due again for 1000 s of wall time
+    assert not rep.maybe_report(
+        time_s=0.004, t_nodes=[80.0], trace=trace, intervals=2,
+        total_instructions=2e6, state=_StubState(),
+    )
+    # force=True bypasses the cadence and folds only the NEW rows
+    trace.append(
+        time_s=0.002, dt_s=0.002, peak_temp_c=90.0, p_chip_w=200.0,
+        p_cores_w=200.0, p_tec_w=0.0, p_fan_w=0.0, ips_chip=1e9,
+        tec_on=0, fan_level=2, mean_dvfs_level=0.0,
+    )
+    assert rep.maybe_report(
+        time_s=0.004, t_nodes=[80.0], trace=trace, intervals=2,
+        total_instructions=2e6, state=_StubState(), done=True, force=True,
+    )
+    status = read_status(path)
+    assert status["done"] is True
+    assert status["progress"]["fraction"] == 1.0
+    assert status["energy"]["energy_j"] == pytest.approx(
+        100.0 * 0.002 + 200.0 * 0.002
+    )
+    assert status["thermal"]["run_peak_c"] == pytest.approx(90.0)
+
+
+def test_run_reporter_eta_from_recent_throughput():
+    rep = _engine_reporter("unused.json", max_time_s=10.0)
+    rate, eta = rep._eta(100.0, 2.0)
+    assert rate is None and eta is None
+    rate, eta = rep._eta(101.0, 4.0)  # 2 sim-s per wall-s
+    assert rate == pytest.approx(2.0)
+    assert eta == pytest.approx((10.0 - 4.0) / 2.0)
+
+
+def test_pool_reporter_snapshot_fields(tmp_path):
+    path = tmp_path / "p.json"
+    rep = PoolStatusReporter(
+        path, every_s=1.0, total=6, meta={"label": "sweep"}
+    )
+    rep.note_replayed([0, 3])
+    rep.index_map = [1, 2, 4, 5]
+    rep.worker_dispatch(101, 0)   # sub-index 0 -> outer cell 1
+    rep.worker_dispatch(102, 1)   # sub-index 1 -> outer cell 2
+    rep.worker_reply(101)
+    rep.note_success()
+    rep.note_retry()
+    rep.add_shm(4096)
+    with telemetry_session() as tel:
+        assert rep.maybe_report(in_flight=1, queued=2)
+        counters = tel.metrics.snapshot()["counters"]
+    assert counters["parallel.heartbeats"] == 1
+    status = read_status(path)
+    assert status["kind"] == "pool"
+    tasks = status["tasks"]
+    assert tasks == {
+        "total": 6, "replayed": 2, "done": 1, "failed": 0, "retries": 1,
+        "timeouts": 0, "in_flight": 1, "queued": 2,
+    }
+    assert status["replayed_indices"] == [0, 3]
+    assert status["shm_bytes"] == 4096
+    workers = {w["pid"]: w for w in status["workers"]}
+    assert workers[101]["state"] == "idle"
+    assert workers[101]["tasks_done"] == 1
+    assert workers[102]["state"] == "busy"
+    assert workers[102]["index"] == 2  # display-mapped outer cell
+    rep.finish()
+    assert read_status(path)["done"] is True
+
+
+# ----------------------------------------------------------------------
+# Renderers + anomaly reuse
+# ----------------------------------------------------------------------
+def _engine_status(**over):
+    status = {
+        "schema": STATUS_SCHEMA, "kind": "engine-run", "seq": 5,
+        "pid": 42, "done": False, "workload": "lu", "policy": "TECfan",
+        "t_threshold_c": 85.0,
+        "progress": {"sim_time_s": 0.5, "max_time_s": 1.0,
+                     "fraction": 0.5, "intervals": 250,
+                     "rate_sim_per_wall": 0.1, "eta_s": 5.0},
+        "thermal": {"peak_temp_c": 80.0, "run_peak_c": 82.0,
+                    "t_threshold_c": 85.0, "headroom_c": 5.0,
+                    "core_temps_c": [80.0]},
+        "energy": {"energy_j": 50.0, "epi_j": 1e-9, "avg_power_w": 100.0},
+        "cache": {"propagator_hit_rate": 0.9,
+                  "fast_forward_fraction": 0.5},
+        "checkpoint": {"path": "ck.pkl", "age_s": 1.5},
+        "history": [
+            {"time_s": i * 0.002, "peak_temp_c": 80.0, "p_chip_w": 100.0,
+             "ips_chip": 1e9, "tec_on": 0, "fan_level": 2,
+             "headroom_c": 5.0}
+            for i in range(8)
+        ],
+    }
+    status.update(over)
+    return status
+
+
+def test_render_watch_mentions_key_fields():
+    text = render_watch(_engine_status())
+    assert "lu / TECfan" in text
+    assert "50.0%" in text
+    assert "headroom +5.00" in text
+    assert "propagator 90.0% hit" in text
+    assert "fast-forwarded 50.0%" in text
+    assert "checkpoint: ck.pkl" in text
+    assert "anomalies: none detected" in text
+
+
+def test_render_watch_flags_threshold_excursion():
+    status = _engine_status(
+        thermal={"peak_temp_c": 86.0, "run_peak_c": 86.0,
+                 "t_threshold_c": 85.0, "headroom_c": -1.0,
+                 "core_temps_c": [86.0]},
+    )
+    assert "OVER THRESHOLD" in render_watch(status)
+
+
+def test_status_anomalies_reuses_tracetools_thresholds():
+    # a history whose tail exceeds threshold + margin -> excursion
+    hot = [
+        {"time_s": i * 0.002, "peak_temp_c": 88.0, "p_chip_w": 100.0,
+         "ips_chip": 1e9, "tec_on": 0, "fan_level": 2}
+        for i in range(4)
+    ]
+    found = status_anomalies(_engine_status(history=hot))
+    assert any(a.kind == "thermal_excursion" for a in found)
+    assert status_anomalies(_engine_status(history=[])) == []
+
+
+def test_render_top_mentions_workers_and_replays():
+    status = {
+        "schema": STATUS_SCHEMA, "kind": "pool", "seq": 2, "pid": 7,
+        "done": False, "meta": {"label": "fan-sweep lu/TECfan",
+                                "journal": "j.tfj"},
+        "tasks": {"total": 6, "replayed": 2, "done": 1, "failed": 0,
+                  "retries": 0, "timeouts": 0, "in_flight": 2,
+                  "queued": 1},
+        "progress": {"fraction": 0.5, "rate_per_s": 1.0, "eta_s": 3.0},
+        "shm_bytes": 1 << 20,
+        "workers": [{"pid": 101, "state": "busy", "index": 4,
+                     "tasks_done": 1, "last_reply_age_s": 0.5}],
+        "replayed_indices": [0, 3],
+        "history": [{"done": 3}],
+    }
+    text = render_top(status)
+    assert "fan-sweep lu/TECfan" in text
+    assert "3/6 settled" in text
+    assert "2 replayed" in text
+    assert "101" in text
+    assert "replayed cells: 0, 3" in text
+    assert "journal: j.tfj" in text
+    # render_status dispatches on kind
+    assert render_status(status) == text
+    assert "tecfan watch" in render_status(_engine_status())
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+def test_prometheus_text_format():
+    snapshot = {
+        "counters": {"engine.intervals": 10},
+        "gauges": {"fan.level": 2.0},
+        "histograms": {
+            "thermal.solver_ms": {
+                "edges": [1.0, 5.0], "counts": [3, 2], "count": 6,
+                "total": 12.5, "mean": 2.08, "min": 0.1, "max": 9.0,
+            }
+        },
+    }
+    text = prometheus_text(snapshot, _engine_status())
+    assert "# TYPE tecfan_engine_intervals_total counter" in text
+    assert "tecfan_engine_intervals_total 10" in text
+    assert "tecfan_fan_level 2" in text
+    # cumulative buckets: 3, then 3+2, then +Inf = count
+    assert 'tecfan_thermal_solver_ms_bucket{le="1"} 3' in text
+    assert 'tecfan_thermal_solver_ms_bucket{le="5"} 5' in text
+    assert 'tecfan_thermal_solver_ms_bucket{le="+Inf"} 6' in text
+    assert "tecfan_thermal_solver_ms_sum 12.5" in text
+    assert "tecfan_thermal_solver_ms_count 6" in text
+    # live status gauges ride along
+    assert "tecfan_live_up 1" in text
+    assert "tecfan_live_progress_fraction 0.5" in text
+    assert "tecfan_live_peak_temp_celsius 80" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_pool_gauges():
+    status = {
+        "kind": "pool", "done": True, "seq": 9,
+        "progress": {"fraction": 1.0, "eta_s": 0.0},
+        "tasks": {"total": 6, "done": 4, "failed": 0, "replayed": 2,
+                  "in_flight": 0, "queued": 0},
+        "workers": [], "shm_bytes": 123,
+    }
+    text = prometheus_text(None, status)
+    assert "tecfan_pool_tasks_total 6" in text
+    assert "tecfan_pool_tasks_replayed 2" in text
+    assert "tecfan_pool_shm_bytes 123" in text
+    assert "tecfan_live_done 1" in text
+
+
+def test_metrics_server_scrapes_live_registry(tmp_path):
+    tel = Telemetry()
+    tel.metrics.counter("engine.intervals").inc(7)
+    status_path = tmp_path / "s.json"
+    write_status(status_path, _engine_status())
+    server = MetricsServer(
+        0, host="127.0.0.1", status_path=status_path,
+        telemetry_getter=lambda: tel,
+    )
+    try:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            assert resp.status == 200
+            assert "text/plain" in resp.headers["Content-Type"]
+            body = resp.read().decode()
+        assert "tecfan_engine_intervals_total 7" in body
+        assert "tecfan_live_up 1" in body
+        # mutation between scrapes is visible (live registry, no cache)
+        tel.metrics.counter("engine.intervals").inc(3)
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            assert "tecfan_engine_intervals_total 10" in resp.read().decode()
+    finally:
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# Engine integration: no observer effect, snapshots on run + resume
+# ----------------------------------------------------------------------
+def _small_run(extra: dict):
+    system = build_system(rows=2, cols=2)
+    wl = splash2_workload("lu", 4, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=70.0),
+        EngineConfig(max_time_s=0.02, **extra),
+    )
+    return engine.run(
+        WorkloadRun(wl, system.chip, REF_FREQ_GHZ), TECfanController()
+    )
+
+
+def test_status_file_is_side_effect_free(tmp_path):
+    baseline = _small_run({})
+    path = tmp_path / "s.json"
+    with_status = _small_run(
+        {"status_path": str(path), "status_every_s": 0.001}
+    )
+    assert result_digest(baseline) == result_digest(with_status)
+    status = read_status(path)
+    assert status["done"] is True
+    assert status["progress"]["fraction"] == 1.0
+    assert status["workload"] == "lu"
+    assert status["thermal"]["t_threshold_c"] == 70.0
+
+
+def test_engine_config_rejects_bad_cadence():
+    with pytest.raises(ConfigurationError):
+        EngineConfig(status_every_s=0.0)
+
+
+def test_fan_sweep_status_sidecar(tmp_path):
+    system = build_system(rows=2, cols=2)
+    wl = splash2_workload("lu", 4, system.chip)
+    engine = SimulationEngine(
+        system,
+        EnergyProblem(t_threshold_c=70.0),
+        EngineConfig(max_time_s=0.004),
+    )
+    path = tmp_path / "p.json"
+    run_fan_sweep(
+        engine,
+        lambda: WorkloadRun(wl, system.chip, REF_FREQ_GHZ),
+        TECfanController(),
+        status_path=str(path),
+        status_every_s=0.01,
+    )
+    status = read_status(path)
+    assert status["kind"] == "pool"
+    assert status["done"] is True
+    assert status["tasks"]["done"] == status["tasks"]["total"] > 0
+    assert "fan-sweep lu/TECfan" in status["meta"]["label"]
+
+
+def test_parallel_map_journal_resume_reports_replayed(tmp_path):
+    from repro.journal import TaskJournal
+
+    jpath = tmp_path / "j.tfj"
+    header = {"kind": "test", "n_tasks": 4}
+    with TaskJournal(jpath, header=header) as journal:
+        journal.record_task(0, 0.0)
+        journal.record_task(2, 4.0)
+    path = tmp_path / "p.json"
+    with TaskJournal(jpath, header=header) as journal:
+        out = parallel_map(
+            _square, [0.0, 1.0, 2.0, 3.0], None,
+            journal=journal,
+            status_path=str(path),
+            status_every_s=0.001,
+        )
+    assert out == [0.0, 1.0, 4.0, 9.0]
+    status = read_status(path)
+    assert status["done"] is True
+    assert status["tasks"]["replayed"] == 2
+    assert status["tasks"]["done"] == 2
+    assert status["replayed_indices"] == [0, 2]
+
+
+def _square(x):
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# CLI: watch/top --once against live and resumed runs
+# ----------------------------------------------------------------------
+def test_cli_watch_once_missing_file(tmp_path, capsys):
+    assert main(["watch", str(tmp_path / "absent.json"), "--once"]) == 2
+    assert "no status file" in capsys.readouterr().err
+
+
+def test_cli_run_status_watch_once(tmp_path, capsys):
+    path = tmp_path / "s.json"
+    rc = main([
+        "run", "--workload", "lu", "--threads", "4",
+        "--max-time-s", "0.01", "--status-file", str(path),
+        "--status-every-s", "0.001",
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["watch", str(path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "100.0%" in out
+    assert "[done]" in out
+
+
+def test_cli_sweep_status_top_once_live_and_resumed(tmp_path, capsys):
+    path = tmp_path / "p.json"
+    jpath = tmp_path / "sweep.tfj"
+    base = [
+        "sweep", "--workload", "lu", "--threads", "4",
+        "--max-time-s", "0.004", "--journal", str(jpath),
+        "--status-file", str(path), "--status-every-s", "0.01",
+    ]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(["top", str(path), "--once"]) == 0
+    first = capsys.readouterr().out
+    assert "0 replayed" in first
+    # resumed: the journal replays every cell, no live work left
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(["top", str(path), "--once"]) == 0
+    resumed = capsys.readouterr().out
+    assert "replayed cells:" in resumed
+    assert "0 live" in resumed

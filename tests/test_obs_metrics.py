@@ -69,8 +69,14 @@ def test_histogram_reregistration_edge_mismatch(reg):
     # same edges: fine, same instance
     again = reg.histogram("thermal.solver_ms", edges=(1.0, 2.0))
     assert again is reg.histogram("thermal.solver_ms", edges=(1.0, 2.0))
-    with pytest.raises(ObservabilityError):
+    # the error names the metric and shows both edge tuples, so a
+    # mismatch deep in a merge/fan-out is diagnosable from the message
+    with pytest.raises(ObservabilityError) as exc_info:
         reg.histogram("thermal.solver_ms", edges=(1.0, 3.0))
+    message = str(exc_info.value)
+    assert "thermal.solver_ms" in message
+    assert "(1.0, 3.0)" in message
+    assert "(1.0, 2.0)" in message
 
 
 def test_kind_clash_raises(reg):

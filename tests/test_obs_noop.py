@@ -94,3 +94,38 @@ def test_record_events_false_discards_silently():
         event("interval", time_s=0.0)
     assert tel.events == []
     assert tel.events_dropped == 0
+
+
+def test_max_events_drop_warns_once_and_counts(monkeypatch):
+    monkeypatch.setattr("repro.obs.telemetry.MAX_EVENTS", 3)
+    tel = Telemetry()
+    with telemetry_session(tel):
+        for i in range(3):
+            event("interval", i=i)
+        # the cap is hit: exactly one loud warning at drop onset ...
+        with pytest.warns(RuntimeWarning, match="MAX_EVENTS=3 hit"):
+            event("interval", i=3)
+        # ... and further drops stay silent but keep counting
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            event("interval", i=4)
+    assert len(tel.events) == 3
+    assert tel.events_dropped == 2
+    # the truncation survives into aggregates (and thus merges/exports)
+    assert tel.metrics.snapshot()["counters"]["obs.events_dropped"] == 2
+
+
+def test_events_dropped_reaches_manifest_aggregates(monkeypatch):
+    from repro.obs import build_manifest
+
+    monkeypatch.setattr("repro.obs.telemetry.MAX_EVENTS", 1)
+    tel = Telemetry()
+    with telemetry_session(tel):
+        event("interval", i=0)
+        with pytest.warns(RuntimeWarning):
+            event("interval", i=1)
+    manifest = build_manifest(tel)
+    assert manifest["events_dropped"] == 1
+    assert manifest["telemetry"]["counters"]["obs.events_dropped"] == 1
