@@ -29,7 +29,7 @@ from repro.server.trace_workload import (
     ServerTraceRun,
     ServerWorkload,
 )
-from repro.server.wikipedia import generate_trace
+from repro.fleet.traces import cached_wikipedia_trace
 
 #: Lower-level control period for the server loop [s]. Second-scale is
 #: ample: the trace moves minute to minute and the die settles in ms.
@@ -59,8 +59,14 @@ class ServerComparison:
 def build_server_workload(
     platform: ServerPlatform, seed: int = 2009, minutes: int = 10
 ) -> ServerWorkload:
-    """The paper's trace protocol on the platform's core count."""
-    trace = generate_trace(seed=seed)
+    """The paper's trace protocol on the platform's core count.
+
+    The trace comes from the fleet-level memoized cache
+    (:func:`repro.fleet.traces.cached_wikipedia_trace`) so repeated
+    workload builds — N fleet nodes, pooled workers, the four-policy
+    comparison — synthesize the 7-day series once per process.
+    """
+    trace = cached_wikipedia_trace(seed=seed)
     pieces = [p[: minutes * 60] for p in trace.experiment_pieces()]
     demand = np.stack(pieces[: platform.system.n_cores])
     return ServerWorkload(
@@ -70,7 +76,9 @@ def build_server_workload(
     )
 
 
-def _engine(platform: ServerPlatform, minutes: int) -> SimulationEngine:
+def _engine(
+    platform: ServerPlatform, minutes: int, **engine_kwargs
+) -> SimulationEngine:
     problem = EnergyProblem(t_threshold_c=platform.t_threshold_c)
     return SimulationEngine(
         platform.system,
@@ -81,6 +89,7 @@ def _engine(platform: ServerPlatform, minutes: int) -> SimulationEngine:
             dynamic_fan=True,
             max_time_s=minutes * 60 * 3.0,  # room for backlog drain
             priming_intervals=5,
+            **engine_kwargs,
         ),
     )
 
@@ -90,9 +99,10 @@ def _run(
     workload: ServerWorkload,
     controller,
     minutes: int,
+    **engine_kwargs,
 ) -> SimulationResult:
     system = platform.system
-    engine = _engine(platform, minutes)
+    engine = _engine(platform, minutes, **engine_kwargs)
     controller.reset()
     state = ActuatorState.initial(
         system.n_tec_devices,

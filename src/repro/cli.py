@@ -292,6 +292,58 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    """N-node fleet simulation with the batched interval kernel."""
+    import time as _time
+
+    from repro.exceptions import CheckpointError, ConfigurationError
+    from repro.fleet import FleetConfig, run_fleet
+
+    if args.nodes < 1:
+        print("tecfan fleet: --nodes must be >= 1", file=sys.stderr)
+        return 2
+    duration_s = int(round(args.hours * 3600)) if args.hours else args.seconds
+    if duration_s < 1:
+        print("tecfan fleet: duration must be >= 1 s", file=sys.stderr)
+        return 2
+    try:
+        cfg = FleetConfig(
+            n_nodes=args.nodes,
+            duration_s=duration_s,
+            trace=args.trace,
+            seed=args.seed,
+            scale=args.scale,
+            router=args.router,
+            stepper=args.stepper,
+            fast_forward=not args.no_fast_forward,
+            shards=args.shards,
+        )
+    except ConfigurationError as exc:
+        print(f"tecfan fleet: {exc}", file=sys.stderr)
+        return 2
+    t0 = _time.monotonic()
+    try:
+        result = run_fleet(
+            cfg,
+            jobs=args.jobs,
+            journal_path=args.journal,
+            status_path=args.status_file,
+            status_every_s=args.status_every_s,
+        )
+    except CheckpointError as exc:
+        print(f"tecfan fleet: journal mismatch: {exc}", file=sys.stderr)
+        return 2
+    wall_s = _time.monotonic() - t0
+    for key, value in result.summary().items():
+        print(f"{key}: {value!r}")
+    print(f"wall_s: {wall_s:.3f}")
+    print(
+        f"throughput: {result.sim_time_s * result.n_nodes / wall_s:.0f} "
+        "node-sim-s/s"
+    )
+    return 0
+
+
 def _cmd_watch(args, prog: str) -> int:
     """Shared body of ``tecfan watch`` and ``tecfan top``.
 
@@ -661,6 +713,75 @@ def main(argv: list[str] | None = None) -> int:
         help="append completed levels to this crash-recovery journal; "
         "re-running with the same path redoes only missing levels",
     )
+    fleetp = sub.add_parser(
+        "fleet",
+        parents=[common, jobs_parent, status_parent],
+        help="N-node datacenter fleet simulation (batched interval "
+        "kernel; crash-recoverable with --journal)",
+    )
+    fleetp.add_argument(
+        "--nodes", type=int, default=64, help="number of S8-style servers"
+    )
+    fleetp.add_argument(
+        "--seconds",
+        type=int,
+        default=3600,
+        metavar="S",
+        help="simulated arrival-stream duration [s]",
+    )
+    fleetp.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        metavar="H",
+        help="duration in hours (overrides --seconds)",
+    )
+    fleetp.add_argument(
+        "--trace",
+        choices=("diurnal", "wikipedia"),
+        default="diurnal",
+        help="arrival stream: vectorized synthetic diurnal or the "
+        "paper's 7-day Wikipedia trace (cached per process)",
+    )
+    fleetp.add_argument(
+        "--router",
+        choices=("identity", "round-robin", "least-loaded", "thermal"),
+        default="round-robin",
+        help="request routing policy",
+    )
+    fleetp.add_argument(
+        "--stepper",
+        choices=("batched", "sequential"),
+        default="batched",
+        help="plant stepper: class-grouped batched kernel or the "
+        "reference per-node loop (bit-identical results)",
+    )
+    fleetp.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="stream utilization multiplier (trace-scaling study)",
+    )
+    fleetp.add_argument("--seed", type=int, default=2009)
+    fleetp.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the worker pool (default: one per "
+        "worker); pin it to compare runs across --jobs values",
+    )
+    fleetp.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="disable quiescent fleet fast-forwarding",
+    )
+    fleetp.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append completed shards to this crash-recovery journal; "
+        "re-running with the same path redoes only missing shards",
+    )
     watchp = sub.add_parser(
         "watch",
         help="live view of a running simulation's --status-file "
@@ -816,6 +937,7 @@ def main(argv: list[str] | None = None) -> int:
         "quick": _cmd_quick,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "fleet": _cmd_fleet,
         "watch": lambda a: _cmd_watch(a, "tecfan watch"),
         "top": lambda a: _cmd_watch(a, "tecfan top"),
         "profile": _cmd_profile,

@@ -1,0 +1,64 @@
+"""Fleet-scale server simulation (see docs/FLEET.md).
+
+Public surface: :class:`FleetConfig`/:func:`run_fleet` for the batched
+N-node tier, :func:`run_fleet_engines` for the full-engine validation
+tier, routers and steppers for composition, and the memoized trace
+sources shared with the server analysis layer.
+"""
+
+from repro.fleet.control import FleetPolicy
+from repro.fleet.router import ROUTER_POLICIES, Router, RouterView, make_router
+from repro.fleet.sim import (
+    FleetConfig,
+    FleetEngineResult,
+    FleetResult,
+    FleetShardResult,
+    FleetSim,
+    latency_quantile,
+    merge_shard_results,
+    node_engine_workload,
+    run_fleet,
+    run_fleet_engines,
+)
+from repro.fleet.stepper import (
+    BatchedStepper,
+    SequentialStepper,
+    StepResult,
+    make_stepper,
+)
+from repro.fleet.traces import (
+    TRACE_KINDS,
+    cached_wikipedia_trace,
+    clear_trace_cache,
+    diurnal_utilization,
+    fleet_demand,
+    trace_cache_size,
+)
+
+__all__ = [
+    "BatchedStepper",
+    "FleetConfig",
+    "FleetEngineResult",
+    "FleetPolicy",
+    "FleetResult",
+    "FleetShardResult",
+    "FleetSim",
+    "ROUTER_POLICIES",
+    "Router",
+    "RouterView",
+    "SequentialStepper",
+    "StepResult",
+    "TRACE_KINDS",
+    "cached_wikipedia_trace",
+    "clear_trace_cache",
+    "diurnal_utilization",
+    "fleet_demand",
+    "latency_quantile",
+    "make_router",
+    "make_stepper",
+    "merge_shard_results",
+    "node_engine_workload",
+    "run_fleet",
+    "run_fleet_engines",
+    "trace_cache_size",
+]

@@ -48,11 +48,13 @@ from repro.obs import telemetry as obs
 
 __all__ = [
     "STATUS_SCHEMA",
+    "FleetStatusReporter",
     "MetricsServer",
     "PoolStatusReporter",
     "RunStatusReporter",
     "prometheus_text",
     "read_status",
+    "render_fleet",
     "render_status",
     "render_top",
     "render_watch",
@@ -523,6 +525,142 @@ class PoolStatusReporter:
         }
 
 
+class FleetStatusReporter:
+    """Periodic ``fleet``-kind snapshots of one live fleet shard.
+
+    Written from the :class:`repro.fleet.sim.FleetSim` loop top (serial
+    single-shard runs; pooled shard fan-outs report ``pool``-kind
+    heartbeats through ``parallel_map`` instead). Same contract as the
+    engine reporter: side-effect-free reads of loop state, so a run's
+    digest is identical with or without a status file attached.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        every_s: float = 1.0,
+        n_nodes: int = 0,
+        max_time_s: float = 0.0,
+        t_threshold_c: float | None = None,
+        router: str = "?",
+        stepper: str = "?",
+    ):
+        self.path = os.fspath(path)
+        self.cadence = _Cadence(every_s)
+        self.n_nodes = int(n_nodes)
+        self.max_time_s = float(max_time_s)
+        self.t_threshold_c = t_threshold_c
+        self.router = router
+        self.stepper = stepper
+        self.seq = 0
+        self._history: deque = deque(maxlen=HISTORY_LEN)
+        self._rate: deque = deque(maxlen=RATE_WINDOW)
+
+    def _eta(self, now: float, time_s: float):
+        self._rate.append((now, time_s))
+        if len(self._rate) < 2:
+            return None, None
+        (w0, s0), (w1, s1) = self._rate[0], self._rate[-1]
+        if w1 <= w0 or s1 <= s0:
+            return None, None
+        rate = (s1 - s0) / (w1 - w0)
+        return rate, max(0.0, self.max_time_s - time_s) / rate
+
+    def maybe_report(self, *, force: bool = False, done: bool = False,
+                     **fields) -> bool:
+        """Write a snapshot if one is due; returns whether it was."""
+        now = time.monotonic()
+        if not force and not self.cadence.due(now):
+            return False
+        self.cadence.advance(now)
+        write_status(self.path, self._build(now, done, fields))
+        self.seq += 1
+        return True
+
+    def final(self, **fields) -> None:
+        """Force the terminal (``done``) snapshot."""
+        self.maybe_report(force=True, done=True, **fields)
+
+    def _build(self, now, done, f) -> dict:
+        time_s = float(f.get("time_s", 0.0))
+        rate, eta_s = self._eta(now, time_s)
+        fraction = (
+            min(1.0, time_s / self.max_time_s) if self.max_time_s > 0 else 0.0
+        )
+        if done:
+            fraction, eta_s = 1.0, 0.0
+        peaks = f.get("node_peak_c")
+        nodes = []
+        if peaks is not None:
+            fans = f.get("fan_levels")
+            tec_on = f.get("tec_on")
+            order = sorted(
+                range(len(peaks)), key=lambda i: -float(peaks[i])
+            )[:8]
+            for i in order:
+                nodes.append({
+                    "node": i,
+                    "peak_temp_c": round(float(peaks[i]), 3),
+                    "fan_level": int(fans[i]) if fans is not None else None,
+                    "tec_on": float(tec_on[i]) if tec_on is not None else None,
+                })
+        last_peak = f.get("last_peak_c")
+        self._history.append({
+            "time_s": time_s,
+            "peak_temp_c": last_peak,
+            "power_w": f.get("power_w"),
+            "p99_s": f.get("p99_s"),
+            "headroom_c": (
+                self.t_threshold_c - last_peak
+                if self.t_threshold_c is not None and last_peak is not None
+                else None
+            ),
+        })
+        counters = {}
+        tel = obs.get_telemetry()
+        if tel is not None:
+            counters = {
+                n: c.value
+                for n, c in sorted(tel.metrics._counters.items())
+                if n.startswith(("fleet.", "server."))
+            }
+        return {
+            "schema": STATUS_SCHEMA,
+            "kind": "fleet",
+            "seq": self.seq,
+            "pid": os.getpid(),
+            "written_unix": time.time(),
+            "done": bool(done),
+            "router": self.router,
+            "stepper": self.stepper,
+            "t_threshold_c": self.t_threshold_c,
+            "fleet": {
+                "n_nodes": self.n_nodes,
+                "peak_temp_c": f.get("peak_temp_c"),
+                "last_peak_c": last_peak,
+                "power_w": f.get("power_w"),
+                "energy_j": f.get("energy_j"),
+                "backlog_inst": f.get("backlog_inst"),
+                "p99_latency_s": f.get("p99_s"),
+                "utilization": f.get("utilization"),
+                "class_groups": f.get("class_groups"),
+            },
+            "progress": {
+                "sim_time_s": time_s,
+                "max_time_s": self.max_time_s,
+                "fraction": fraction,
+                "intervals": f.get("intervals"),
+                "ff_intervals": f.get("ff_intervals"),
+                "rate_sim_per_wall": rate,
+                "eta_s": eta_s,
+            },
+            "counters": counters,
+            "nodes": nodes,
+            "history": list(self._history),
+        }
+
+
 # ----------------------------------------------------------------------
 # Renderers (tecfan watch / tecfan top)
 # ----------------------------------------------------------------------
@@ -702,10 +840,75 @@ def render_top(status: dict) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(status: dict) -> str:
+    """Fleet plain-text view of one ``fleet`` snapshot."""
+    lines = []
+    state = "done" if status.get("done") else "running"
+    fleet = status.get("fleet") or {}
+    lines.append(
+        f"tecfan top — fleet x{fleet.get('n_nodes', '?')} "
+        f"({status.get('router', '?')}/{status.get('stepper', '?')}, "
+        f"pid {status.get('pid', '?')}) [{state}] seq={status.get('seq', 0)}"
+    )
+    prog = status.get("progress") or {}
+    fraction = prog.get("fraction") or 0.0
+    lines.append(
+        f"progress {_bar(fraction)} {fraction * 100:5.1f}%  "
+        f"sim {_fmt(prog.get('sim_time_s'), '{:.0f}')}"
+        f"/{_fmt(prog.get('max_time_s'), '{:.0f}')} s  "
+        f"intervals {prog.get('intervals', 0)} "
+        f"(+{prog.get('ff_intervals', 0)} fast-forwarded)  "
+        f"rate {_fmt(prog.get('rate_sim_per_wall'), '{:.3g}')} sim-s/s  "
+        f"eta {_fmt(prog.get('eta_s'), '{:.1f}')} s"
+    )
+    thr = status.get("t_threshold_c")
+    last_peak = fleet.get("last_peak_c")
+    headroom = (
+        thr - last_peak if thr is not None and last_peak is not None else None
+    )
+    flag = "  !! OVER THRESHOLD" if (
+        headroom is not None and headroom < 0
+    ) else ""
+    lines.append(
+        f"peak {_fmt(last_peak)} degC (run max "
+        f"{_fmt(fleet.get('peak_temp_c'))})  threshold {_fmt(thr)}  "
+        f"headroom {_fmt(headroom, '{:+.2f}')} degC{flag}"
+    )
+    lines.append(
+        f"power {_fmt(fleet.get('power_w'), '{:.0f}')} W  "
+        f"energy {_fmt(fleet.get('energy_j'), '{:.3g}')} J  "
+        f"p99 {_fmt(fleet.get('p99_latency_s'), '{:.3g}')} s  "
+        f"backlog {_fmt(fleet.get('backlog_inst'), '{:.3g}')} inst  "
+        f"util {_fmt(fleet.get('utilization'), '{:.2f}')}  "
+        f"classes {fleet.get('class_groups', '?')}"
+    )
+    history = status.get("history") or []
+    spark = _sparkline([h.get("headroom_c") for h in history])
+    if spark:
+        lines.append(f"headroom  {spark}  (last {len(history)} snapshots)")
+    nodes = status.get("nodes") or []
+    if nodes:
+        lines.append(f"{'node':>6}  {'peak degC':>9}  {'fan':>3}  {'tec-on':>6}")
+        for nd in nodes:
+            lines.append(
+                f"{nd.get('node', '?'):>6}  "
+                f"{_fmt(nd.get('peak_temp_c')):>9}  "
+                f"{_fmt(nd.get('fan_level'), '{:.0f}'):>3}  "
+                f"{_fmt(nd.get('tec_on'), '{:.0f}'):>6}"
+            )
+    counters = status.get("counters") or {}
+    if counters:
+        parts = [f"{k}={int(v)}" for k, v in sorted(counters.items())]
+        lines.append("counters: " + "  ".join(parts))
+    return "\n".join(lines)
+
+
 def render_status(status: dict) -> str:
     """Dispatch to the kind-appropriate renderer."""
     if status.get("kind") == "pool":
         return render_top(status)
+    if status.get("kind") == "fleet":
+        return render_fleet(status)
     return render_watch(status)
 
 
@@ -775,6 +978,16 @@ def prometheus_text(snapshot: dict | None, status: dict | None = None) -> str:
             live.append(("live_headroom_celsius", thermal.get("headroom_c")))
             energy = status.get("energy") or {}
             live.append(("live_epi_joules", energy.get("epi_j")))
+        elif status.get("kind") == "fleet":
+            fleet = status.get("fleet") or {}
+            live.append(("live_sim_time_seconds", prog.get("sim_time_s")))
+            live.append(("fleet_nodes", fleet.get("n_nodes")))
+            live.append(("fleet_peak_temp_celsius", fleet.get("last_peak_c")))
+            live.append(("fleet_power_watts", fleet.get("power_w")))
+            live.append(("fleet_p99_latency_seconds",
+                         fleet.get("p99_latency_s")))
+            live.append(("fleet_backlog_instructions",
+                         fleet.get("backlog_inst")))
         else:
             tasks = status.get("tasks") or {}
             for key in ("total", "done", "failed", "replayed", "in_flight",

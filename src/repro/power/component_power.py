@@ -128,3 +128,48 @@ class ComponentPowerModel:
                 )
             per_comp = per_comp * prof
         return per_comp
+
+    def dynamic_power_many(
+        self,
+        core_activity: np.ndarray,
+        dvfs_levels: np.ndarray,
+        component_profile: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched :meth:`dynamic_power_w` over rows of nodes.
+
+        ``core_activity`` and ``dvfs_levels`` are ``(batch, n_tiles)``
+        arrays; returns ``(batch, n_components)``. Row ``b`` is
+        bit-identical to ``dynamic_power_w(core_activity[b],
+        dvfs_levels[b], component_profile)`` — every operation is the
+        same elementwise expression broadcast over the batch axis, which
+        is what lets the fleet stepper validate against the per-node
+        loop exactly.
+        """
+        act = np.asarray(core_activity, dtype=float)
+        lv = np.asarray(dvfs_levels, dtype=int)
+        n_tiles = self.chip.n_tiles
+        if act.ndim != 2 or act.shape[1] != n_tiles or lv.shape != act.shape:
+            raise ConfigurationError(
+                "activity/levels must be (batch, n_tiles) arrays"
+            )
+        if np.any(act < 0.0) or np.any(act > 1.0):
+            raise ConfigurationError("core activity must lie in [0, 1]")
+        act = np.maximum(act, self.idle_activity)
+        scale = self.dvfs.dynamic_scale(lv)
+        comp_scale = np.where(
+            self._core_domain, scale[:, self._tile_of], 1.0
+        )
+        per_comp = self._p_peak * act[:, self._tile_of] * comp_scale
+        if component_profile is not None:
+            prof = np.asarray(component_profile, dtype=float)
+            if prof.shape != (per_comp.shape[1],):
+                raise ConfigurationError(
+                    "component profile length mismatches floorplan"
+                )
+            per_comp = per_comp * prof
+        # C order, not whatever layout broadcasting picked: callers
+        # reduce rows with sum(axis=1), and numpy's pairwise summation
+        # order follows memory layout — an F-ordered result would sum
+        # in a different order than the per-node rows and break the
+        # bit-identity contract by one ulp.
+        return np.ascontiguousarray(per_comp)

@@ -1,0 +1,161 @@
+"""Satellite: batched stepper == sequential stepper, stepper- and sim-level.
+
+The contract (docs/FLEET.md): temperatures agree to <= 1e-9 K and control
+decisions agree exactly. In practice the batched kernel is bit-identical
+— `solve_many` rows match `solve`, the masked leakage fixed point
+freezes converged rows with the same iteration outputs, and
+`dynamic_power_many` returns C-ordered rows so `sum(axis=1)` reduces in
+the same order as the per-node loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetConfig, run_fleet
+from repro.fleet.control import FleetPolicy
+from repro.fleet.stepper import BatchedStepper, SequentialStepper
+from repro.server.platform import build_server_system
+
+TEMP_TOL_K = 1e-9
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_server_system()
+
+
+def _random_fleet_state(system, rng, n_nodes, n_classes):
+    """Random per-node states drawn from a small pool of actuator classes.
+
+    Pooled fan/TEC patterns force genuinely shared classes (the batched
+    multi-RHS path) alongside singleton classes, instead of every node
+    landing in its own group.
+    """
+    n_tiles = system.chip.n_tiles
+    n_tec = system.tec.n_devices
+    n_th = system.nodes.n_nodes
+    fan_pool = rng.integers(1, system.fan.n_levels + 1, size=n_classes)
+    tec_pool = rng.integers(0, 2, size=(n_classes, n_tec)).astype(float)
+    cls = rng.integers(0, n_classes, size=n_nodes)
+    return {
+        "activity": rng.uniform(0.0, 1.0, size=(n_nodes, n_tiles)),
+        "dvfs_levels": rng.integers(
+            0, system.power.component_power.dvfs.n_levels, size=(n_nodes, n_tiles)
+        ),
+        "fan_levels": fan_pool[cls].astype(float),
+        "tec": tec_pool[cls],
+        "t_nodes_k": rng.uniform(305.0, 345.0, size=(n_nodes, n_th)),
+    }
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_nodes=st.integers(min_value=1, max_value=10),
+    n_classes=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_steppers_agree_on_random_mixes(platform, seed, n_nodes, n_classes):
+    system = platform.system
+    rng = np.random.default_rng(seed)
+    state = _random_fleet_state(system, rng, n_nodes, n_classes)
+
+    seq = SequentialStepper(system).advance(dt_s=1.0, **state)
+    bat = BatchedStepper(system).advance(dt_s=1.0, **state)
+
+    assert np.max(np.abs(bat.t_nodes_k - seq.t_nodes_k)) <= TEMP_TOL_K
+    assert np.max(np.abs(bat.t_steady_k - seq.t_steady_k)) <= TEMP_TOL_K
+    assert np.array_equal(bat.p_dyn_w, seq.p_dyn_w)
+    assert np.array_equal(bat.p_leak_w, seq.p_leak_w)
+    assert np.array_equal(bat.p_tec_w, seq.p_tec_w)
+
+    # Decisions derived from the two step results must match exactly —
+    # a 1-ulp temperature drift flips hysteresis comparisons.
+    policy = FleetPolicy(
+        system,
+        t_threshold_c=platform.t_threshold_c,
+        peak_ips=platform.params.peak_ips,
+    )
+    comp = system.nodes.component_slice
+    for res_a, res_b in ((seq, bat),):
+        tp_a = policy.tile_peaks_c(res_a.t_nodes_k[:, comp] - 273.15)
+        tp_b = policy.tile_peaks_c(res_b.t_nodes_k[:, comp] - 273.15)
+        assert np.array_equal(
+            policy.decide_tec(tp_a, state["tec"]),
+            policy.decide_tec(tp_b, state["tec"]),
+        )
+        offered = rng.uniform(0.0, 2.0 * platform.params.peak_ips, size=(n_nodes, system.chip.n_tiles))
+        lv_a, thr_a = policy.decide_dvfs(offered, tp_a)
+        lv_b, thr_b = policy.decide_dvfs(offered, tp_b)
+        assert np.array_equal(lv_a, lv_b)
+        assert np.array_equal(thr_a, thr_b)
+        assert np.array_equal(
+            policy.decide_fan(tp_a.max(axis=1), state["fan_levels"]),
+            policy.decide_fan(tp_b.max(axis=1), state["fan_levels"]),
+        )
+
+
+@pytest.mark.parametrize("router", ["identity", "round-robin", "thermal"])
+def test_full_sim_digest_matches_sequential(platform, router):
+    def cfg(stepper):
+        return FleetConfig(
+            n_nodes=6,
+            duration_s=180,
+            trace="diurnal",
+            router=router,
+            stepper=stepper,
+            shards=1,
+        )
+
+    batched = run_fleet(cfg("batched"), platform=platform)
+    sequential = run_fleet(cfg("sequential"), platform=platform)
+    assert batched.digest == sequential.digest
+    assert batched.summary()["energy_j"] == sequential.summary()["energy_j"]
+
+
+def test_fast_forward_preserves_physics(platform):
+    # Fast-forward freezes a settled state, while classic stepping keeps
+    # relaxing temperatures the last <= ff_temp_tol_k toward steady — so
+    # the skip is an approximation *bounded by that tolerance*, plus
+    # multiply-vs-repeated-add rounding on the scalar accumulators.
+    # Decisions and the request ledger must still agree exactly.
+    from repro.fleet.sim import FleetSim
+    from repro.fleet.traces import fleet_demand
+
+    def shard(ff):
+        cfg = FleetConfig(
+            n_nodes=4,
+            duration_s=240,
+            trace="diurnal",
+            router="round-robin",
+            stepper="batched",
+            fast_forward=ff,
+            shards=1,
+        )
+        demand = fleet_demand(cfg.trace, cfg.duration_s, seed=cfg.seed)
+        return FleetSim(platform, cfg, n_nodes=cfg.n_nodes, demand=demand).run()
+
+    with_ff = shard(True)
+    without = shard(False)
+    assert with_ff.ff_intervals > 0  # the skip path actually engaged
+    assert without.ff_intervals == 0
+    assert with_ff.sim_time_s == without.sim_time_s
+    assert with_ff.node_intervals == without.node_intervals
+    # Physics agreement bounded by the settle tolerance.
+    tol_k = 10 * FleetConfig().ff_temp_tol_k
+    assert np.max(np.abs(with_ff.final_t_nodes_k - without.final_t_nodes_k)) <= tol_k
+    assert abs(with_ff.peak_temp_c - without.peak_temp_c) <= tol_k
+    assert with_ff.energy_j == pytest.approx(without.energy_j, rel=1e-9)
+    assert with_ff.inst_served == pytest.approx(without.inst_served, rel=1e-9)
+    assert with_ff.requests_routed == pytest.approx(
+        without.requests_routed, rel=1e-9
+    )
+    # Decision trajectory and request ledger agree exactly.
+    assert with_ff.violation_node_intervals == without.violation_node_intervals
+    assert with_ff.throttled_node_intervals == without.throttled_node_intervals
+    assert np.array_equal(with_ff.latency_counts, without.latency_counts)
+    assert np.array_equal(with_ff.final_backlog_inst, without.final_backlog_inst)
+    assert np.array_equal(with_ff.final_fan, without.final_fan)
+    assert np.array_equal(with_ff.final_tec, without.final_tec)
+    assert np.array_equal(with_ff.final_dvfs, without.final_dvfs)

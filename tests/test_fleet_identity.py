@@ -1,0 +1,86 @@
+"""Satellite: N=1 identity-router fleet == plain SimulationEngine run.
+
+The engine tier of the fleet must be a strict generalization: with one
+node and identity routing, `run_fleet_engines` must produce a result
+whose `checkpoint.result_digest` equals a direct `_run` of the same
+workload — in classic and interval-kernel engine modes, serial and
+through the worker pool (the pooled path proves the cross-process
+round-trip is bit-exact too).
+"""
+
+import pytest
+
+from repro.analysis.server_experiment import _run, build_server_workload
+from repro.checkpoint import result_digest
+from repro.core.tecfan import TECfanController
+from repro.fleet import FleetConfig, node_engine_workload, run_fleet, run_fleet_engines
+from repro.server.platform import build_server_system
+from repro.parallel import WorkerPool
+
+MINUTES = 1
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_server_system()
+
+
+@pytest.fixture(scope="module")
+def reference_digests(platform):
+    """Digest of the plain single-server experiment, per engine mode."""
+    out = {}
+    for mode, kwargs in (("classic", {}), ("interval", {"interval_kernel": True})):
+        workload = build_server_workload(platform, minutes=MINUTES)
+        result = _run(platform, workload, TECfanController(), MINUTES, **kwargs)
+        out[mode] = result_digest(result)
+    return out
+
+
+def test_node0_workload_matches_single_server(platform):
+    import numpy as np
+
+    ours = node_engine_workload(platform, node_index=0, minutes=MINUTES)
+    theirs = build_server_workload(platform, minutes=MINUTES)
+    assert ours.name == theirs.name
+    assert np.array_equal(ours.demand, theirs.demand)
+    assert ours.peak_ips == theirs.peak_ips
+
+
+@pytest.mark.parametrize("mode", ["classic", "interval"])
+def test_single_node_fleet_digest_serial(platform, reference_digests, mode):
+    kwargs = {"interval_kernel": True} if mode == "interval" else {}
+    fleet = run_fleet_engines(
+        platform=platform, n_nodes=1, minutes=MINUTES, **kwargs
+    )
+    assert fleet.digests == [reference_digests[mode]]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode", ["classic", "interval"])
+def test_single_node_fleet_digest_pooled(platform, reference_digests, mode):
+    kwargs = {"interval_kernel": True} if mode == "interval" else {}
+    with WorkerPool(2) as pool:
+        pool.prime()
+        fleet = run_fleet_engines(
+            platform=platform, n_nodes=1, minutes=MINUTES, pool=pool, **kwargs
+        )
+    assert fleet.digests == [reference_digests[mode]]
+
+
+@pytest.mark.slow
+def test_fleet_shards_pooled_matches_serial(platform):
+    """Interval tier: pinned shard count => worker count is irrelevant."""
+    cfg = FleetConfig(
+        n_nodes=8,
+        duration_s=120,
+        trace="diurnal",
+        router="round-robin",
+        stepper="batched",
+        shards=2,
+    )
+    serial = run_fleet(cfg, platform=platform, jobs=1)
+    with WorkerPool(2) as pool:
+        pool.prime()
+        pooled = run_fleet(cfg, platform=platform, pool=pool)
+    assert serial.shard_digests == pooled.shard_digests
+    assert serial.digest == pooled.digest
